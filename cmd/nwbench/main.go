@@ -1,0 +1,126 @@
+// Command nwbench regenerates the paper's evaluation: Tables 2-8 and the
+// execution-time breakdowns of Figures 3 and 4, over the seven
+// applications on both machines and both prefetching extremes.
+//
+// Usage:
+//
+//	nwbench [-scale 1.0] [-seed 1] [-table N | -figure N | -all] [-q]
+//
+// With no selection flags, everything is printed (-all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"nwcache/internal/core"
+	"nwcache/internal/exp"
+	"nwcache/internal/stats"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
+		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
+		tableN   = flag.Int("table", 0, "print only table N (2-8)")
+		figureN  = flag.Int("figure", 0, "print only figure N (3 or 4)")
+		all      = flag.Bool("all", false, "print every table and figure")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		format   = flag.String("format", "text", "output format: text or csv")
+		report   = flag.Bool("report", false, "emit a markdown paper-vs-measured report")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	suite := exp.NewSuite(cfg)
+	if !*quiet {
+		suite.Progress = func(label string) {
+			fmt.Fprintf(os.Stderr, "running %s...\n", label)
+		}
+	}
+
+	if *report {
+		if err := suite.Prewarm(*parallel); err != nil {
+			fatal(err)
+		}
+		if err := suite.Report(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *tableN == 0 && *figureN == 0 {
+		*all = true
+	}
+	if *all {
+		if err := suite.Prewarm(*parallel); err != nil {
+			fatal(err)
+		}
+		var err error
+		if *format == "csv" {
+			err = suite.WriteAllCSV(os.Stdout)
+		} else {
+			err = suite.WriteAll(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *tableN != 0 {
+		var t *stats.Table
+		var err error
+		switch *tableN {
+		case 2:
+			t = suite.Table2()
+		case 3:
+			t, err = suite.Table3()
+		case 4:
+			t, err = suite.Table4()
+		case 5:
+			t, err = suite.Table5()
+		case 6:
+			t, err = suite.Table6()
+		case 7:
+			t, err = suite.Table7()
+		case 8:
+			t, err = suite.Table8()
+		default:
+			fatal(fmt.Errorf("no table %d (have 2-8)", *tableN))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if *figureN != 0 {
+		var mode core.PrefetchMode
+		switch *figureN {
+		case 3:
+			mode = core.Optimal
+		case 4:
+			mode = core.Naive
+		default:
+			fatal(fmt.Errorf("no figure %d (have 3 and 4)", *figureN))
+		}
+		t, err := suite.Figure(mode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+		chart, err := suite.FigureBars(mode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(chart)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command nwsim runs one application on one machine configuration and
+// prints the measured statistics. Every Table 1 parameter is exposed as a
+// flag, so single points of the design space can be probed directly.
+//
+// Usage:
+//
+//	nwsim -app lu -machine nwcache -prefetch optimal [-scale 0.5] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nwcache/internal/core"
+	"nwcache/internal/param"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	var (
+		app      = flag.String("app", "lu", "application: "+strings.Join(core.Apps(), ", "))
+		machineF = flag.String("machine", "nwcache", "machine kind: standard or nwcache")
+		prefetch = flag.String("prefetch", "optimal", "prefetch mode: naive, optimal, or streamed")
+		minFree  = flag.Int("minfree", 0, "min free frames (0 = paper's per-configuration choice)")
+		cfgFile  = flag.String("config", "", "JSON config file (flags override its values)")
+		dumpCfg  = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+		util     = flag.Bool("util", false, "also print per-resource utilization")
+		seeds    = flag.Int("seeds", 1, "run N seeds and report mean/min/max execution time")
+	)
+	flag.Float64Var(&cfg.Scale, "scale", 1.0, "workload scale (1.0 = paper inputs)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
+	flag.IntVar(&cfg.MemPerNode, "mem", cfg.MemPerNode, "memory per node (bytes)")
+	flag.IntVar(&cfg.DiskCacheBytes, "diskcache", cfg.DiskCacheBytes, "disk controller cache (bytes)")
+	flag.IntVar(&cfg.RingChanBytes, "ringchan", cfg.RingChanBytes, "optical storage per channel (bytes)")
+	flag.Int64Var(&cfg.RingRoundTrip, "ringrtt", cfg.RingRoundTrip, "ring round-trip latency (pcycles)")
+	flag.IntVar(&cfg.SwapQueueDepth, "swapdepth", cfg.SwapQueueDepth, "outstanding swap-outs per node")
+	flag.BoolVar(&cfg.DCD, "dcd", cfg.DCD, "attach a Disk Caching Disk log to each disk (§6 baseline)")
+	flag.Parse()
+
+	if *cfgFile != "" {
+		loaded, err := param.LoadFile(*cfgFile)
+		if err != nil {
+			fatal(err)
+		}
+		// Re-apply any flags given explicitly on the command line on top
+		// of the file's values.
+		cfg = loaded
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale":
+				cfg.Scale, _ = strconv.ParseFloat(f.Value.String(), 64)
+			case "seed":
+				cfg.Seed, _ = strconv.ParseInt(f.Value.String(), 10, 64)
+			case "mem":
+				cfg.MemPerNode, _ = strconv.Atoi(f.Value.String())
+			case "diskcache":
+				cfg.DiskCacheBytes, _ = strconv.Atoi(f.Value.String())
+			case "ringchan":
+				cfg.RingChanBytes, _ = strconv.Atoi(f.Value.String())
+			case "ringrtt":
+				cfg.RingRoundTrip, _ = strconv.ParseInt(f.Value.String(), 10, 64)
+			case "swapdepth":
+				cfg.SwapQueueDepth, _ = strconv.Atoi(f.Value.String())
+			case "dcd":
+				cfg.DCD = f.Value.String() == "true"
+			}
+		})
+	}
+	if *dumpCfg {
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var kind core.Kind
+	switch *machineF {
+	case "standard":
+		kind = core.Standard
+	case "nwcache":
+		kind = core.NWCache
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineF))
+	}
+	var mode core.PrefetchMode
+	switch *prefetch {
+	case "naive":
+		mode = core.Naive
+	case "optimal":
+		mode = core.Optimal
+	case "streamed":
+		mode = core.Streamed
+	default:
+		fatal(fmt.Errorf("unknown prefetch mode %q", *prefetch))
+	}
+	if *minFree == 0 {
+		cfg.MinFreeFrames = core.PaperMinFree(kind, mode)
+	} else {
+		cfg.MinFreeFrames = *minFree
+	}
+
+	if *seeds > 1 {
+		agg, err := core.RunSeeds(*app, kind, mode, cfg, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("app=%s machine=%s prefetch=%s scale=%.2f seeds=%d\n\n",
+			*app, kind, mode, cfg.Scale, *seeds)
+		fmt.Printf("execution time:  mean %.1f Mpcycles (min %.1f, max %.1f, spread %.1f%%)\n",
+			agg.MeanExec/1e6, float64(agg.MinExec)/1e6, float64(agg.MaxExec)/1e6,
+			agg.Spread()*100)
+		fmt.Printf("ring hit rate:   mean %.1f%%\n", agg.MeanRingHitRate*100)
+		fmt.Printf("avg swap time:   mean %.1f Kpcycles\n", agg.MeanSwapTime/1e3)
+		return
+	}
+
+	prog, err := core.NewProgram(*app, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.NewMachine(cfg, kind, mode)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scale=%.2f minfree=%d\n", cfg.Scale, cfg.MinFreeFrames)
+	fmt.Println(res)
+	if *util {
+		fmt.Println(m.UtilizationTable())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwsim:", err)
+	os.Exit(1)
+}

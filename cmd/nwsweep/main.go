@@ -1,0 +1,362 @@
+// Command nwsweep runs the parameter-sensitivity experiments of §5 and the
+// design-choice ablations and extensions of DESIGN.md's experiment index:
+//
+//	-sweep minfree    minimum-free-frames sensitivity (the paper's first
+//	                  §5 experiment: best floor per machine/prefetch)
+//	-sweep diskcache  disk controller cache size on the standard machine
+//	                  (the paper's "huge disk cache needed to approach the
+//	                  NWCache" observation)
+//	-sweep ring       optical storage per channel (NWCache capacity)
+//	-sweep channels   OTDM multi-channel extension (§4)
+//	-sweep nodes      machine-size scaling (4..32 nodes)
+//	-sweep wbuf       Figure 1's coalescing write buffer depths
+//	-sweep drain      drain policy: most-loaded vs round-robin (ablation)
+//	-sweep swapdepth  outstanding swap-outs per node (ablation)
+//	-sweep armsched   disk arm FCFS vs read-priority scheduling
+//	-sweep prefetch   naive vs streamed vs optimal prefetching
+//	-sweep baseline   Standard vs Standard+DCD (§6) vs NWCache
+//
+// Each sweep prints one table of execution times (Mpcycles) per
+// application.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwcache/internal/core"
+	"nwcache/internal/stats"
+)
+
+func main() {
+	var (
+		sweep    = flag.String("sweep", "minfree", "minfree | diskcache | ring | channels | nodes | wbuf | drain | swapdepth | armsched | prefetch | baseline")
+		scale    = flag.Float64("scale", 1.0, "workload scale")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all)")
+		prefetch = flag.String("prefetch", "optimal", "prefetch mode for the sweep: naive or optimal")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	mode := core.Optimal
+	if *prefetch == "naive" {
+		mode = core.Naive
+	}
+	base := core.DefaultConfig()
+	base.Scale = *scale
+	base.Seed = *seed
+
+	list := core.Apps()
+	if *apps != "" {
+		list = splitComma(*apps)
+	}
+	progress := func(label string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s...\n", label)
+		}
+	}
+
+	run := func(app string, kind core.Kind, cfg core.Config) float64 {
+		progress(fmt.Sprintf("%s/%s", app, kind))
+		res, err := core.Run(app, kind, mode, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nwsweep:", err)
+			os.Exit(1)
+		}
+		return float64(res.ExecTime) / 1e6
+	}
+
+	switch *sweep {
+	case "minfree":
+		points := []int{2, 4, 8, 12, 16}
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Min-free-frames sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
+				Headers: append([]string{"Application"}, intHeaders(points)...),
+			}
+			for _, app := range list {
+				row := []string{app}
+				for _, mf := range points {
+					cfg := base
+					cfg.MinFreeFrames = mf
+					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "diskcache":
+		// The paper: "a standard multiprocessor often requires a huge
+		// amount of disk controller cache capacity to approach the
+		// performance of our system." Sweep the standard machine's cache
+		// and print the NWCache (16KB cache) reference.
+		sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+		t := &stats.Table{
+			Title: fmt.Sprintf("Disk-cache sweep, standard machine, %s prefetching (exec Mpcycles)", mode),
+			Headers: append(append([]string{"Application"}, byteHeaders(sizes)...),
+				"NWCache@16KB"),
+		}
+		for _, app := range list {
+			row := []string{app}
+			for _, sz := range sizes {
+				cfg := core.ApplyPaperMinFree(base, core.Standard, mode)
+				cfg.DiskCacheBytes = sz
+				row = append(row, stats.FmtF(run(app, core.Standard, cfg), 1))
+			}
+			cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+			row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+
+	case "ring":
+		sizes := []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Per-channel optical storage sweep, NWCache machine, %s prefetching (exec Mpcycles)", mode),
+			Headers: append([]string{"Application"}, byteHeaders(sizes)...),
+		}
+		for _, app := range list {
+			row := []string{app}
+			for _, sz := range sizes {
+				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+				cfg.RingChanBytes = sz
+				row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+
+	case "swapdepth":
+		depths := []int{1, 2, 4, 8}
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Swap-queue-depth sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
+				Headers: append([]string{"Application"}, intHeaders(depths)...),
+			}
+			for _, app := range list {
+				row := []string{app}
+				for _, d := range depths {
+					cfg := core.ApplyPaperMinFree(base, kind, mode)
+					cfg.SwapQueueDepth = d
+					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "wbuf":
+		// Figure 1's coalescing write buffer: disabled vs increasing
+		// depths.
+		depths := []int{0, 2, 8, 32}
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Write-buffer sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
+				Headers: append([]string{"Application"}, intHeaders(depths)...),
+			}
+			for _, app := range list {
+				row := []string{app}
+				for _, d := range depths {
+					cfg := core.ApplyPaperMinFree(base, kind, mode)
+					cfg.WriteBufferDepth = d
+					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "nodes":
+		// Machine-size scaling: nodes (with proportional I/O nodes and
+		// channels) at fixed per-node memory. The workloads partition over
+		// however many processors exist.
+		type shape struct{ nodes, w, h, io int }
+		shapes := []shape{{4, 2, 2, 2}, {8, 4, 2, 4}, {16, 4, 4, 4}, {32, 8, 4, 8}}
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Machine-size sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
+				Headers: []string{"Application", "4", "8", "16", "32"},
+			}
+			for _, app := range list {
+				row := []string{app}
+				for _, sh := range shapes {
+					cfg := core.ApplyPaperMinFree(base, kind, mode)
+					cfg.Nodes = sh.nodes
+					cfg.MeshW = sh.w
+					cfg.MeshH = sh.h
+					cfg.IONodes = sh.io
+					cfg.RingChannels = sh.nodes
+					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "channels":
+		// OTDM extension: more WDM channels per node (the paper's §4
+		// future-capacity argument). 8 = the paper's design point.
+		counts := []int{8, 16, 32, 64}
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Channel-count sweep (OTDM extension), NWCache machine, %s prefetching (exec Mpcycles)", mode),
+			Headers: append([]string{"Application"}, intHeaders(counts)...),
+		}
+		for _, app := range list {
+			row := []string{app}
+			for _, nch := range counts {
+				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+				cfg.RingChannels = nch
+				row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+
+	case "baseline":
+		// Standard vs Standard+DCD (the §6 related-work design) vs
+		// NWCache: where does the optical write cache sit relative to a
+		// log-disk write cache?
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Write-buffering baselines, %s prefetching (exec Mpcycles)", mode),
+			Headers: []string{"Application", "Standard", "Standard+DCD", "NWCache"},
+		}
+		for _, app := range list {
+			row := []string{app}
+			for _, variant := range []struct {
+				kind core.Kind
+				dcd  bool
+			}{{core.Standard, false}, {core.Standard, true}, {core.NWCache, false}} {
+				cfg := core.ApplyPaperMinFree(base, variant.kind, mode)
+				cfg.DCD = variant.dcd
+				progress(fmt.Sprintf("%s/%s dcd=%v", app, variant.kind, variant.dcd))
+				res, err := core.Run(app, variant.kind, mode, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "nwsweep:", err)
+					os.Exit(1)
+				}
+				row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+
+	case "armsched":
+		// Ablation: FCFS disk mechanism vs demand-reads-before-writebacks
+		// priority scheduling.
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Arm-scheduling ablation, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
+				Headers: []string{"Application", "FCFS", "ReadPriority", "AvgSwap FCFS (Kpc)", "AvgSwap Prio (Kpc)"},
+			}
+			for _, app := range list {
+				row := []string{app}
+				var execs []float64
+				var swaps []float64
+				for _, prio := range []bool{false, true} {
+					cfg := core.ApplyPaperMinFree(base, kind, mode)
+					cfg.DiskReadPriority = prio
+					progress(fmt.Sprintf("%s/%s prio=%v", app, kind, prio))
+					res, err := core.Run(app, kind, mode, cfg)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "nwsweep:", err)
+						os.Exit(1)
+					}
+					execs = append(execs, float64(res.ExecTime)/1e6)
+					swaps = append(swaps, res.AvgSwapTime/1e3)
+				}
+				row = append(row, stats.FmtF(execs[0], 1), stats.FmtF(execs[1], 1),
+					stats.FmtF(swaps[0], 1), stats.FmtF(swaps[1], 1))
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "prefetch":
+		// Extension: the Streamed mode should land between the paper's
+		// naive and optimal extremes (§5, Discussion).
+		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+			t := &stats.Table{
+				Title:   fmt.Sprintf("Prefetch-mode comparison, %s machine (exec Mpcycles)", kind),
+				Headers: []string{"Application", "Naive", "Streamed", "Optimal"},
+			}
+			for _, app := range list {
+				row := []string{app}
+				for _, pm := range []core.PrefetchMode{core.Naive, core.Streamed, core.Optimal} {
+					cfg := core.ApplyPaperMinFree(base, kind, pm)
+					progress(fmt.Sprintf("%s/%s/%s", app, kind, pm))
+					res, err := core.Run(app, kind, pm, cfg)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "nwsweep:", err)
+						os.Exit(1)
+					}
+					row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Println(t)
+		}
+
+	case "drain":
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Drain-policy ablation, NWCache machine, %s prefetching (exec Mpcycles)", mode),
+			Headers: []string{"Application", "MostLoaded", "RoundRobin"},
+		}
+		for _, app := range list {
+			row := []string{app}
+			for _, rr := range []bool{false, true} {
+				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+				progress(fmt.Sprintf("%s/drain rr=%v", app, rr))
+				res, err := core.RunDrainPolicy(app, mode, cfg, rr)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "nwsweep:", err)
+					os.Exit(1)
+				}
+				row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+
+	default:
+		fmt.Fprintf(os.Stderr, "nwsweep: unknown sweep %q\n", *sweep)
+		os.Exit(1)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func intHeaders(vals []int) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+func byteHeaders(vals []int) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		switch {
+		case v >= 1<<20:
+			out[i] = fmt.Sprintf("%dMB", v>>20)
+		default:
+			out[i] = fmt.Sprintf("%dKB", v>>10)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Command nwtrace runs one application with event tracing enabled and
+// either writes the trace to a file (binary or JSON lines) or prints a
+// post-hoc analysis: latency distributions, ring occupancy, per-node
+// activity, hottest pages.
+//
+// Usage:
+//
+//	nwtrace -app gauss -machine nwcache -prefetch optimal -summary
+//	nwtrace -app mg -out mg.trace            # binary trace file
+//	nwtrace -analyze mg.trace                # analyze an existing trace
+//	nwtrace -app mg -out mg.json -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nwcache/internal/core"
+	"nwcache/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "gauss", "application: "+strings.Join(core.Apps(), ", "))
+		machineF = flag.String("machine", "nwcache", "machine kind: standard or nwcache")
+		prefetch = flag.String("prefetch", "optimal", "prefetch mode: naive, optimal, or streamed")
+		scale    = flag.Float64("scale", 1.0, "workload scale")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		out      = flag.String("out", "", "write trace to this file")
+		format   = flag.String("format", "binary", "trace file format: binary or json")
+		summary  = flag.Bool("summary", true, "print trace analysis")
+		analyze  = flag.String("analyze", "", "analyze an existing trace file instead of running")
+		maxEv    = flag.Int("max-events", 10_000_000, "event buffer cap (0 = unbounded)")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		events, err := trace.ReadBinary(f)
+		if err != nil {
+			// Fall back to JSON.
+			if _, serr := f.Seek(0, 0); serr != nil {
+				fatal(err)
+			}
+			events, err = trace.ReadJSON(f)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println(trace.Analyze(events))
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	var kind core.Kind
+	switch *machineF {
+	case "standard":
+		kind = core.Standard
+	case "nwcache":
+		kind = core.NWCache
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineF))
+	}
+	var mode core.PrefetchMode
+	switch *prefetch {
+	case "naive":
+		mode = core.Naive
+	case "optimal":
+		mode = core.Optimal
+	case "streamed":
+		mode = core.Streamed
+	default:
+		fatal(fmt.Errorf("unknown prefetch mode %q", *prefetch))
+	}
+	cfg = core.ApplyPaperMinFree(cfg, kind, mode)
+
+	prog, err := core.NewProgram(*app, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.NewMachine(cfg, kind, mode)
+	if err != nil {
+		fatal(err)
+	}
+	tr := trace.New(*maxEv)
+	m.Tracer = tr
+	res, err := m.Run(prog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ran %s on %s/%s: %d pcycles, %d trace events (%d dropped)\n",
+		*app, kind, mode, res.ExecTime, tr.Len(), tr.Dropped)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *format {
+		case "binary":
+			err = trace.WriteBinary(f, tr.Events())
+		case "json":
+			err = trace.WriteJSON(f, tr.Events())
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if *summary {
+		fmt.Println(trace.Analyze(tr.Events()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwtrace:", err)
+	os.Exit(1)
+}

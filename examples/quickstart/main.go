@@ -1,0 +1,35 @@
+// Quickstart: run one out-of-core application (blocked LU factorization,
+// one of the paper's seven workloads) on both the standard multiprocessor
+// and the NWCache-equipped one, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nwcache/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig() // the paper's Table 1 parameters
+	cfg.Scale = 1.0             // the paper's Table 2 input (out-of-core)
+
+	for _, mode := range []core.PrefetchMode{core.Optimal, core.Naive} {
+		var exec [2]int64
+		for i, kind := range []core.Kind{core.Standard, core.NWCache} {
+			runCfg := core.ApplyPaperMinFree(cfg, kind, mode)
+			res, err := core.Run("lu", kind, mode, runCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exec[i] = res.ExecTime
+			fmt.Printf("%-8s %-8s exec=%8.1f Mpcycles  faults=%5d  swap-outs=%4d  avg swap=%8.1f Kpcycles\n",
+				kind, mode, float64(res.ExecTime)/1e6, res.Faults, res.SwapOuts,
+				res.AvgSwapTime/1e3)
+		}
+		imp := 100 * (1 - float64(exec[1])/float64(exec[0]))
+		fmt.Printf("NWCache improvement under %s prefetching: %.0f%%\n\n", mode, imp)
+	}
+}

@@ -1,0 +1,62 @@
+// Victim-cache demo: shows the NWCache acting as a victim cache for
+// swapped-out pages. A custom program dirties a working set larger than
+// memory and then revisits it; on the NWCache machine the revisits are
+// served by snooping pages straight off the optical ring (no disk, no mesh
+// transfer), while the standard machine goes back to the disks.
+//
+//	go run ./examples/victim-cache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nwcache/internal/core"
+)
+
+// thrasher writes a working set 1.5x the machine's memory, then reads it
+// back in reverse order (so recently evicted pages are revisited first —
+// the best case for victim caching).
+type thrasher struct {
+	pages int64
+}
+
+func (t *thrasher) Name() string     { return "thrasher" }
+func (t *thrasher) DataPages() int64 { return t.pages }
+
+func (t *thrasher) Run(ctx *core.Ctx, proc int) {
+	per := t.pages / int64(ctx.Procs())
+	lo := int64(proc) * per
+	hi := lo + per
+	// Phase 1: dirty the whole working set.
+	for pg := lo; pg < hi; pg++ {
+		ctx.Write(pg, 0, 32)
+	}
+	ctx.Barrier()
+	// Phase 2: revisit in reverse.
+	for pg := hi - 1; pg >= lo; pg-- {
+		ctx.Read(pg, 0, 32)
+	}
+	ctx.Barrier()
+}
+
+func main() {
+	cfg := core.DefaultConfig()
+	frames := int64(cfg.Nodes) * int64(cfg.FramesPerNode())
+	prog := &thrasher{pages: frames * 3 / 2}
+
+	fmt.Printf("memory: %d frames, working set: %d pages\n\n", frames, prog.pages)
+	for _, kind := range []core.Kind{core.Standard, core.NWCache} {
+		runCfg := core.ApplyPaperMinFree(cfg, kind, core.Optimal)
+		res, err := core.RunProgram(prog, kind, core.Optimal, runCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s exec=%8.1f Mpcycles  faults=%5d  ring hits=%5d (%.0f%%)  disk reads=%5d\n",
+			kind, float64(res.ExecTime)/1e6, res.Faults, res.RingHits,
+			res.RingHitRate*100, res.DiskHits+res.DiskMisses)
+	}
+	fmt.Println("\nOn the NWCache machine the reverse-order revisit hits pages that")
+	fmt.Println("are still circulating on the optical ring: no disk access, no mesh")
+	fmt.Println("transfer — the victim-caching benefit of §5.")
+}

@@ -1,0 +1,3 @@
+module nwcache
+
+go 1.22

@@ -1,0 +1,285 @@
+// Package coherence implements the DASH-like directory-based cache
+// coherence protocol of the paper's base machine (§4: "a DASH-like
+// cache-coherent multiprocessor based on Release Consistency").
+//
+// Coherence is tracked at sub-page block granularity (1 KB, matching the
+// simulator's memory cost model). Each block has a directory entry at its
+// page's current home (the node holding the page frame), with the classic
+// MSI states:
+//
+//   - Invalid: no cache holds the block;
+//   - Shared: one or more caches hold a read-only copy;
+//   - Modified: exactly one cache holds a dirty copy.
+//
+// The package provides the state machines (per-node caches and the global
+// directory); the machine layer drives them and charges the mesh/bus
+// timing for each transaction kind returned by the protocol functions.
+package coherence
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// State is a cache line's MSI state.
+type State uint8
+
+// MSI states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// SubPerPage is the number of coherence blocks per page.
+const SubPerPage = 4
+
+// key packs (page, sub) into a block id.
+func key(page int64, sub int) int64 { return page*SubPerPage + int64(sub) }
+
+// line is one cached block.
+type line struct {
+	k     int64
+	state State
+}
+
+// Cache is one node's coherent cache: LRU over blocks with MSI states.
+type Cache struct {
+	node     int
+	capacity int
+	lru      *list.List
+	entries  map[int64]*list.Element
+
+	Hits       uint64
+	Misses     uint64
+	Upgrades   uint64
+	Writebacks uint64
+}
+
+// NewCache returns an empty coherent cache of `capacity` blocks.
+func NewCache(node, capacity int) *Cache {
+	if capacity < 1 {
+		panic("coherence: capacity must be >= 1")
+	}
+	return &Cache{
+		node:     node,
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[int64]*list.Element),
+	}
+}
+
+// State returns the cached state of a block (Invalid if absent), touching
+// LRU on presence.
+func (c *Cache) State(page int64, sub int) State {
+	if el, ok := c.entries[key(page, sub)]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*line).state
+	}
+	return Invalid
+}
+
+// Evicted describes a block pushed out of a cache by an insertion.
+type Evicted struct {
+	Page     int64
+	Sub      int
+	Modified bool // a dirty copy left the cache: it must be written back
+}
+
+// Insert places a block in state st, evicting the LRU block if full.
+// Returns the eviction (if any) so the caller can write back dirty data
+// and update the directory.
+func (c *Cache) Insert(page int64, sub int, st State) (ev Evicted, evicted bool) {
+	k := key(page, sub)
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*line).state = st
+		c.lru.MoveToFront(el)
+		return Evicted{}, false
+	}
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		l := back.Value.(*line)
+		c.lru.Remove(back)
+		delete(c.entries, l.k)
+		ev = Evicted{
+			Page:     l.k / SubPerPage,
+			Sub:      int(l.k % SubPerPage),
+			Modified: l.state == Modified,
+		}
+		if ev.Modified {
+			c.Writebacks++
+		}
+		evicted = true
+	}
+	c.entries[k] = c.lru.PushFront(&line{k: k, state: st})
+	return ev, evicted
+}
+
+// SetState changes the state of a cached block (upgrade/downgrade); the
+// block must be present.
+func (c *Cache) SetState(page int64, sub int, st State) {
+	el, ok := c.entries[key(page, sub)]
+	if !ok {
+		panic(fmt.Sprintf("coherence: node %d: SetState on absent block %d/%d", c.node, page, sub))
+	}
+	el.Value.(*line).state = st
+}
+
+// Drop removes a block (invalidation). Reports whether it was present and
+// whether the dropped copy was Modified.
+func (c *Cache) Drop(page int64, sub int) (present, wasModified bool) {
+	el, ok := c.entries[key(page, sub)]
+	if !ok {
+		return false, false
+	}
+	l := el.Value.(*line)
+	c.lru.Remove(el)
+	delete(c.entries, key(page, sub))
+	return true, l.state == Modified
+}
+
+// DropPage removes every block of a page (page eviction from memory).
+func (c *Cache) DropPage(page int64) int {
+	n := 0
+	for sub := 0; sub < SubPerPage; sub++ {
+		if present, _ := c.Drop(page, sub); present {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Directory tracks, per block, which caches hold it and in what state.
+// A single global structure suffices in the simulator (the home node is
+// wherever the page currently resides; timing is charged by the caller).
+type Directory struct {
+	entries map[int64]*DirEntry
+}
+
+// DirEntry is one block's directory state.
+type DirEntry struct {
+	Sharers uint64 // bitmask of nodes with Shared copies
+	Owner   int    // node with the Modified copy, or -1
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[int64]*DirEntry)}
+}
+
+// get returns (creating) the entry for a block.
+func (d *Directory) get(page int64, sub int) *DirEntry {
+	k := key(page, sub)
+	en, ok := d.entries[k]
+	if !ok {
+		en = &DirEntry{Owner: -1}
+		d.entries[k] = en
+	}
+	return en
+}
+
+// Lookup returns the entry if present.
+func (d *Directory) Lookup(page int64, sub int) (*DirEntry, bool) {
+	en, ok := d.entries[key(page, sub)]
+	return en, ok
+}
+
+// Txn describes the coherence traffic one access requires; the machine
+// layer prices it.
+type Txn struct {
+	// FetchFrom is the node whose cache must forward a Modified copy
+	// (cache-to-cache transfer), or -1 if memory supplies the data.
+	FetchFrom int
+	// Invalidate lists nodes whose Shared copies must be invalidated.
+	Invalidate []int
+	// MemoryData is true when the block comes from the home memory.
+	MemoryData bool
+}
+
+// Read records node n obtaining a Shared copy and returns the traffic
+// needed. The caller must afterwards Insert into n's cache.
+func (d *Directory) Read(page int64, sub int, n int) Txn {
+	en := d.get(page, sub)
+	t := Txn{FetchFrom: -1}
+	if en.Owner >= 0 && en.Owner != n {
+		// Dirty copy elsewhere: forward it and downgrade to Shared.
+		t.FetchFrom = en.Owner
+		en.Sharers |= 1 << uint(en.Owner)
+		en.Owner = -1
+	} else {
+		t.MemoryData = true
+	}
+	en.Sharers |= 1 << uint(n)
+	return t
+}
+
+// Write records node n obtaining the Modified copy and returns the
+// traffic needed (forward from a dirty owner and/or invalidations of
+// sharers). The caller must afterwards Insert/SetState in n's cache.
+func (d *Directory) Write(page int64, sub int, n int) Txn {
+	en := d.get(page, sub)
+	t := Txn{FetchFrom: -1}
+	if en.Owner >= 0 && en.Owner != n {
+		t.FetchFrom = en.Owner
+	} else if en.Owner != n {
+		t.MemoryData = en.Sharers&(1<<uint(n)) == 0 // upgrade needs no data
+	}
+	for s := 0; s < 64; s++ {
+		if en.Sharers&(1<<uint(s)) != 0 && s != n {
+			t.Invalidate = append(t.Invalidate, s)
+		}
+	}
+	en.Sharers = 0
+	en.Owner = n
+	return t
+}
+
+// EvictShared records a silent drop of a Shared copy.
+func (d *Directory) EvictShared(page int64, sub int, n int) {
+	if en, ok := d.Lookup(page, sub); ok {
+		en.Sharers &^= 1 << uint(n)
+		d.gc(page, sub, en)
+	}
+}
+
+// EvictModified records the write-back of a Modified copy to memory.
+func (d *Directory) EvictModified(page int64, sub int, n int) {
+	if en, ok := d.Lookup(page, sub); ok && en.Owner == n {
+		en.Owner = -1
+		d.gc(page, sub, en)
+	}
+}
+
+// DropPage clears every directory entry of a page (the page left memory;
+// all cached copies are being invalidated by the shootdown).
+func (d *Directory) DropPage(page int64) {
+	for sub := 0; sub < SubPerPage; sub++ {
+		delete(d.entries, key(page, sub))
+	}
+}
+
+// gc removes empty entries to bound the map.
+func (d *Directory) gc(page int64, sub int, en *DirEntry) {
+	if en.Sharers == 0 && en.Owner < 0 {
+		delete(d.entries, key(page, sub))
+	}
+}
+
+// Len returns the number of tracked blocks (for tests).
+func (d *Directory) Len() int { return len(d.entries) }

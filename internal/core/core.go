@@ -1,0 +1,192 @@
+// Package core is the public facade of the NWCache reproduction: it ties
+// configuration (Table 1), the application workload (Table 2), and the two
+// machine architectures together behind a small API.
+//
+// Typical use:
+//
+//	cfg := core.DefaultConfig()
+//	res, err := core.Run("lu", core.NWCache, core.Optimal, cfg)
+//	fmt.Println(res.ExecTime, res.AvgSwapTime)
+//
+// Run builds a fresh machine per call, executes the named application to
+// completion under deterministic discrete-event simulation, and returns
+// the measured statistics (execution-time breakdown, swap-out times, write
+// combining, ring hit rates, contention figures).
+package core
+
+import (
+	"fmt"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/machine"
+	"nwcache/internal/optical"
+	"nwcache/internal/param"
+	"nwcache/internal/workload"
+)
+
+// Kind selects the machine architecture.
+type Kind = machine.Kind
+
+// Machine kinds.
+const (
+	Standard = machine.Standard
+	NWCache  = machine.NWCache
+)
+
+// PrefetchMode selects the paper's prefetching extreme.
+type PrefetchMode = disk.PrefetchMode
+
+// Prefetch modes. Naive and Optimal are the paper's two extremes;
+// Streamed is this repository's realistic middle point (per-requester
+// sequential-stream detection with bounded read-ahead).
+const (
+	Naive    = disk.Naive
+	Optimal  = disk.Optimal
+	Streamed = disk.Streamed
+)
+
+// Config re-exports the simulation parameters (Table 1).
+type Config = param.Config
+
+// Result re-exports the per-run measurements.
+type Result = machine.Result
+
+// Program re-exports the application interface so custom out-of-core
+// programs can be simulated alongside the built-in suite.
+type Program = machine.Program
+
+// Ctx re-exports the execution context custom programs are driven by.
+type Ctx = machine.Ctx
+
+// PageID re-exports the virtual page number type.
+type PageID = machine.PageID
+
+// DefaultConfig returns the paper's Table 1 parameters.
+func DefaultConfig() Config { return param.Default() }
+
+// Apps returns the names of the built-in Table 2 applications.
+func Apps() []string { return workload.Names() }
+
+// NewProgram instantiates a built-in application by name at the
+// configuration's scale and seed.
+func NewProgram(name string, cfg Config) (Program, error) {
+	prog, ok := workload.Registry(cfg.Scale, cfg.Seed)[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown application %q (have %v)", name, Apps())
+	}
+	return prog, nil
+}
+
+// PaperMinFree returns the minimum-free-frames setting the paper selected
+// for each machine/prefetch combination (§5): 12 for the standard machine
+// under optimal prefetching, 4 under naive, and 2 for the NWCache machine
+// under either. The Streamed extension (between the extremes) uses the
+// naive setting on the standard machine.
+func PaperMinFree(kind Kind, mode PrefetchMode) int {
+	if kind == NWCache {
+		return 2
+	}
+	if mode == Optimal {
+		return 12
+	}
+	return 4
+}
+
+// ApplyPaperMinFree sets cfg's free-frame floor to the paper's choice for
+// the given machine and prefetch mode.
+func ApplyPaperMinFree(cfg Config, kind Kind, mode PrefetchMode) Config {
+	cfg.MinFreeFrames = PaperMinFree(kind, mode)
+	return cfg
+}
+
+// Run executes a built-in application on a fresh machine and returns its
+// measurements.
+func Run(app string, kind Kind, mode PrefetchMode, cfg Config) (*Result, error) {
+	prog, err := NewProgram(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, kind, mode, cfg)
+}
+
+// RunProgram executes an arbitrary Program on a fresh machine.
+func RunProgram(prog Program, kind Kind, mode PrefetchMode, cfg Config) (*Result, error) {
+	m, err := machine.New(cfg, kind, mode)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(prog)
+}
+
+// NewMachine exposes machine construction for callers that need access to
+// the substrate state after a run (e.g. disk or ring statistics).
+func NewMachine(cfg Config, kind Kind, mode PrefetchMode) (*machine.Machine, error) {
+	return machine.New(cfg, kind, mode)
+}
+
+// SeedAggregate summarizes runs of the same configuration across seeds.
+// Only the randomized applications (em3d, radix) and randomized custom
+// programs vary across seeds; the rest are seed-invariant.
+type SeedAggregate struct {
+	Runs            int
+	MeanExec        float64
+	MinExec         int64
+	MaxExec         int64
+	MeanRingHitRate float64
+	MeanSwapTime    float64
+}
+
+// Spread returns (max-min)/mean of the execution times.
+func (a *SeedAggregate) Spread() float64 {
+	if a.MeanExec == 0 {
+		return 0
+	}
+	return float64(a.MaxExec-a.MinExec) / a.MeanExec
+}
+
+// RunSeeds executes the application once per seed (cfg.Seed, cfg.Seed+1,
+// ...) and aggregates the results.
+func RunSeeds(app string, kind Kind, mode PrefetchMode, cfg Config, n int) (*SeedAggregate, error) {
+	if n < 1 {
+		n = 1
+	}
+	agg := &SeedAggregate{Runs: n, MinExec: 1<<63 - 1}
+	for i := 0; i < n; i++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i)
+		res, err := Run(app, kind, mode, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		agg.MeanExec += float64(res.ExecTime) / float64(n)
+		agg.MeanRingHitRate += res.RingHitRate / float64(n)
+		agg.MeanSwapTime += res.AvgSwapTime / float64(n)
+		if res.ExecTime < agg.MinExec {
+			agg.MinExec = res.ExecTime
+		}
+		if res.ExecTime > agg.MaxExec {
+			agg.MaxExec = res.ExecTime
+		}
+	}
+	return agg, nil
+}
+
+// RunDrainPolicy runs an application on an NWCache machine with the ring
+// interfaces' drain policy switched to round-robin when rr is true (the
+// ablation of the paper's most-loaded-channel choice).
+func RunDrainPolicy(app string, mode PrefetchMode, cfg Config, rr bool) (*Result, error) {
+	prog, err := NewProgram(app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg, NWCache, mode)
+	if err != nil {
+		return nil, err
+	}
+	if rr {
+		for _, f := range m.Ifaces {
+			f.Policy = optical.RoundRobin
+		}
+	}
+	return m.Run(prog)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+)
+
+// fastCfg shrinks the machine and workload for quick end-to-end tests.
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.MemPerNode = 16 * cfg.PageSize
+	return cfg
+}
+
+func TestRunKnownApp(t *testing.T) {
+	res, err := Run("sor", NWCache, Naive, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "sor" || res.Kind != NWCache || res.Mode != "naive" {
+		t.Fatalf("result identity %q/%v/%q", res.App, res.Kind, res.Mode)
+	}
+	if res.ExecTime <= 0 {
+		t.Fatal("no execution time")
+	}
+}
+
+func TestRunUnknownAppErrors(t *testing.T) {
+	if _, err := Run("nosuch", Standard, Naive, fastCfg()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunInvalidConfigErrors(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinFreeFrames = 0
+	if _, err := Run("sor", Standard, Naive, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAppsListsSeven(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 7 {
+		t.Fatalf("%d apps, want 7", len(apps))
+	}
+	for _, name := range apps {
+		if _, err := NewProgram(name, fastCfg()); err != nil {
+			t.Fatalf("NewProgram(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPaperMinFree(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		mode PrefetchMode
+		want int
+	}{
+		{Standard, Optimal, 12},
+		{Standard, Naive, 4},
+		{NWCache, Optimal, 2},
+		{NWCache, Naive, 2},
+	}
+	for _, c := range cases {
+		if got := PaperMinFree(c.kind, c.mode); got != c.want {
+			t.Errorf("PaperMinFree(%v,%v) = %d, want %d", c.kind, c.mode, got, c.want)
+		}
+		cfg := ApplyPaperMinFree(DefaultConfig(), c.kind, c.mode)
+		if cfg.MinFreeFrames != c.want {
+			t.Errorf("ApplyPaperMinFree(%v,%v) left %d", c.kind, c.mode, cfg.MinFreeFrames)
+		}
+	}
+}
+
+func TestRunDrainPolicyBothSettings(t *testing.T) {
+	cfg := fastCfg()
+	for _, rr := range []bool{false, true} {
+		res, err := RunDrainPolicy("sor", Naive, cfg, rr)
+		if err != nil {
+			t.Fatalf("rr=%v: %v", rr, err)
+		}
+		if res.ExecTime <= 0 {
+			t.Fatalf("rr=%v: empty result", rr)
+		}
+	}
+}
+
+func TestNewMachineExposesSubstrates(t *testing.T) {
+	m, err := NewMachine(fastCfg(), NWCache, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ring == nil {
+		t.Fatal("NWCache machine without ring")
+	}
+	if len(m.Disks) != fastCfg().IONodes {
+		t.Fatalf("%d disks, want %d", len(m.Disks), fastCfg().IONodes)
+	}
+	std, err := NewMachine(fastCfg(), Standard, Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Ring != nil {
+		t.Fatal("standard machine grew a ring")
+	}
+}
+
+func TestRunSeedsAggregates(t *testing.T) {
+	cfg := fastCfg()
+	agg, err := RunSeeds("radix", NWCache, Naive, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 3 {
+		t.Fatalf("runs %d", agg.Runs)
+	}
+	if agg.MinExec <= 0 || agg.MaxExec < agg.MinExec {
+		t.Fatalf("exec range [%d,%d]", agg.MinExec, agg.MaxExec)
+	}
+	if agg.MeanExec < float64(agg.MinExec) || agg.MeanExec > float64(agg.MaxExec) {
+		t.Fatalf("mean %f outside [%d,%d]", agg.MeanExec, agg.MinExec, agg.MaxExec)
+	}
+	if agg.Spread() < 0 {
+		t.Fatalf("spread %f", agg.Spread())
+	}
+}
+
+func TestRunSeedsSeedInvariantApp(t *testing.T) {
+	// SOR has no randomized pattern: all seeds give identical runs.
+	agg, err := RunSeeds("sor", Standard, Naive, fastCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.MinExec != agg.MaxExec {
+		t.Fatalf("sor varied across seeds: [%d,%d]", agg.MinExec, agg.MaxExec)
+	}
+	if agg.Spread() != 0 {
+		t.Fatalf("spread %f", agg.Spread())
+	}
+}
+
+func TestRunSeedsPropagatesErrors(t *testing.T) {
+	if _, err := RunSeeds("nosuch", Standard, Naive, fastCfg(), 2); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package disk
+
+import "nwcache/internal/sim"
+
+// armSched abstracts the disk mechanism's scheduler. The paper's base
+// system serializes media accesses FCFS; the read-priority variant
+// (an ablation) serves demand reads before background write-backs.
+type armSched interface {
+	// Use occupies the mechanism for dur pcycles in p's context. pri is
+	// honored only by the priority scheduler.
+	Use(p *sim.Proc, pri sim.Priority, dur int64)
+	// BusyTime returns cumulative service time.
+	BusyTime() int64
+}
+
+// fcfsArm adapts a reservation Resource (pure FCFS).
+type fcfsArm struct{ r *sim.Resource }
+
+func (a fcfsArm) Use(p *sim.Proc, _ sim.Priority, dur int64) { a.r.Use(p, dur) }
+func (a fcfsArm) BusyTime() int64                            { return a.r.Busy }
+
+// prioArm adapts a two-class queued Server.
+type prioArm struct{ s *sim.Server }
+
+func (a prioArm) Use(p *sim.Proc, pri sim.Priority, dur int64) { a.s.Use(p, pri, dur) }
+func (a prioArm) BusyTime() int64                              { return a.s.Busy }

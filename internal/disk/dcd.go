@@ -1,0 +1,121 @@
+package disk
+
+import (
+	"nwcache/internal/sim"
+)
+
+// dcdLog implements the Disk Caching Disk of Hu & Yang (ISCA'96), the
+// closest prior art the paper compares the NWCache against (§6): a log
+// disk placed between the RAM controller cache and the data disk. Dirty
+// pages are destaged from the controller cache to the log disk with
+// cheap, sequential log writes (no seek: the log head stays at the tail),
+// freeing cache slots far faster than data-disk writes would. A
+// background daemon later copies logged blocks to the data disk when the
+// data mechanism is idle. Reading a logged block costs a full
+// seek+rotation on the log mechanism, "comparable to those of accesses to
+// the data disk" (§6).
+type dcdLog struct {
+	arm      *sim.Resource  // the log disk mechanism
+	rot      int64          // rotational latency
+	seek     int64          // average seek for non-sequential log access
+	xfer     int64          // per-page transfer time
+	capacity int            // log capacity in blocks
+	index    map[int64]bool // data blocks currently living in the log
+	fifo     []int64        // destage order
+	room     *sim.Cond      // signaled when log space frees
+	kick     *sim.Cond      // wakes the destage daemon
+}
+
+// newDCDLog builds the log disk and starts its destage daemon against the
+// owning disk's data mechanism.
+func newDCDLog(e *sim.Engine, d *Disk, capacity int) *dcdLog {
+	l := &dcdLog{
+		arm:      sim.NewResource(e, d.name+".log"),
+		rot:      d.rot,
+		seek:     (d.minSeek + d.maxSeek) / 2,
+		xfer:     d.pageXfer,
+		capacity: capacity,
+		index:    make(map[int64]bool),
+		room:     sim.NewCond(e),
+		kick:     sim.NewCond(e),
+	}
+	e.SpawnDaemon(d.name+".destage", func(p *sim.Proc) { l.destageLoop(p, d) })
+	return l
+}
+
+// hasRoom reports whether n more blocks fit in the log.
+func (l *dcdLog) hasRoom(n int) bool { return len(l.fifo)+n <= l.capacity }
+
+// appendBatch writes n blocks sequentially at the log tail in p's
+// context: one rotational settle plus the transfers — no seek, the log
+// head never leaves the tail.
+func (l *dcdLog) appendBatch(p *sim.Proc, blocks []int64) {
+	l.arm.Use(p, l.rot+int64(len(blocks))*l.xfer)
+	for _, b := range blocks {
+		if !l.index[b] {
+			l.index[b] = true
+			l.fifo = append(l.fifo, b)
+		}
+	}
+	l.kick.Signal()
+}
+
+// contains reports whether a data block currently lives in the log.
+func (l *dcdLog) contains(block int64) bool { return l.index[block] }
+
+// readBlock services a demand read of a logged block: a random access on
+// the log mechanism.
+func (l *dcdLog) readBlock(p *sim.Proc) {
+	l.arm.Use(p, l.seek+l.rot+l.xfer)
+}
+
+// destageBatch is how many blocks one destage operation moves.
+const destageBatch = 8
+
+// destageLoop copies logged blocks to the data disk whenever the data
+// mechanism is idle, in log (FIFO) order.
+func (l *dcdLog) destageLoop(p *sim.Proc, d *Disk) {
+	for {
+		if len(l.fifo) == 0 {
+			l.kick.Wait(p)
+			continue
+		}
+		// Only run while the data mechanism is otherwise idle, per the
+		// DCD design; poll with a dwell so demand traffic goes first.
+		if !d.armIdle() {
+			p.Sleep(d.wbDwell)
+			continue
+		}
+		n := destageBatch
+		if n > len(l.fifo) {
+			n = len(l.fifo)
+		}
+		batch := append([]int64(nil), l.fifo[:n]...)
+		// Read the segment from the log (sequential from the head).
+		l.arm.Use(p, l.rot+int64(n)*l.xfer)
+		// Write to the data disk: one seek+rotation for the batch, then a
+		// transfer per block (blocks in a segment are rarely contiguous on
+		// the data disk, but a single sweep covers a batch reasonably).
+		d.arm.Use(p, sim.Low, d.seekTime(batch[0])+d.rot+int64(n)*d.pageXfer)
+		d.headPos = batch[n-1]
+		d.MediaWrite++
+		d.Combining.Add(float64(n))
+		l.fifo = l.fifo[n:]
+		for _, b := range batch {
+			delete(l.index, b)
+		}
+		l.room.Broadcast()
+	}
+}
+
+// armIdle reports whether the data mechanism is currently free (used by
+// the destage daemon's idleness gate).
+func (d *Disk) armIdle() bool {
+	switch a := d.arm.(type) {
+	case fcfsArm:
+		return a.r.FreeAt() <= d.e.Now()
+	case prioArm:
+		return a.s.Idle()
+	}
+	return true
+}

@@ -1,0 +1,605 @@
+// Package disk models a disk drive and its controller as described in the
+// paper's base system (§3.1):
+//
+//   - a small controller cache holding whole pages (16 KB = 4 slots by
+//     default), in which writes are given preference over prefetches;
+//   - page read requests served from the cache (hit) or the media (miss),
+//     with two prefetching extremes: Optimal (every read is satisfied from
+//     the cache, media reads happen in the background) and Naive (on a
+//     miss the controller fills the remaining cache slots with the pages
+//     sequentially following the missed one);
+//   - swap-out writes answered with ACK when the page fits in the cache and
+//     NACK otherwise; NACKs are recorded in a FIFO and an OK message is
+//     sent when room appears, prompting the node to resend the page;
+//   - dirty pages written back to the media with write combining: dirty
+//     slots holding consecutive disk blocks are written in a single access
+//     (one seek + rotation, n transfers).
+//
+// The mechanism (arm + platter) is a single FCFS resource; seek time is
+// proportional to the distance from the current head position, scaled to
+// the in-use block span.
+package disk
+
+import (
+	"fmt"
+	"sort"
+
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+	"nwcache/internal/stats"
+)
+
+// PageID is a virtual page number (the paper equates pages and disk
+// blocks; we keep both, related by the pfs layout).
+type PageID = int64
+
+// PrefetchMode selects the controller's prefetching policy.
+type PrefetchMode int
+
+// Prefetching policies. Naive and Optimal are the paper's two extremes
+// (§3.1); Streamed is the repository's extension: per-requester
+// sequential-stream detection with bounded read-ahead, the kind of
+// "realistic and sophisticated" technique the paper expects to land
+// between its extremes (§5, Discussion).
+const (
+	Naive PrefetchMode = iota
+	Optimal
+	Streamed
+)
+
+// String implements fmt.Stringer.
+func (m PrefetchMode) String() string {
+	switch m {
+	case Optimal:
+		return "optimal"
+	case Streamed:
+		return "streamed"
+	}
+	return "naive"
+}
+
+// WriteStatus is the controller's immediate answer to a swap-out write.
+type WriteStatus int
+
+// Write outcomes.
+const (
+	ACK  WriteStatus = iota // page accepted into the controller cache
+	NACK                    // cache full of swap-outs; OK will follow
+)
+
+// slot is one page frame of the controller cache.
+type slot struct {
+	valid      bool
+	page       PageID
+	block      int64
+	dirty      bool   // swap-out not yet on media
+	busy       bool   // media write in flight for this slot's data
+	prefetched bool   // filled by prefetch (clean, evictable by writes)
+	lastUse    int64  // for clean-slot LRU
+	seq        uint64 // arrival order of dirty data (write-back order)
+}
+
+// nackEntry records a rejected swap-out awaiting an OK.
+type nackEntry struct {
+	Node int
+	Page PageID
+}
+
+// Disk is one drive + controller.
+type Disk struct {
+	e    *sim.Engine
+	name string
+
+	mode         PrefetchMode
+	slots        []slot
+	seqCounter   uint64
+	useCounter   int64
+	arm          armSched      // the mechanism
+	ctrl         *sim.Resource // controller firmware occupancy
+	ctrlOverhead int64
+	minSeek      int64
+	maxSeek      int64
+	rot          int64
+	pageXfer     int64 // media transfer time for one page
+	headPos      int64
+	maxBlockSeen int64
+	wbDwell      int64
+
+	// pendingPF tracks blocks with an in-flight sequential prefetch: a
+	// read request for one of them waits for the fill instead of issuing a
+	// duplicate media access, and counts as a controller-cache hit.
+	pendingPF     map[int64]bool
+	pendingPFDone *sim.Cond
+
+	// streamHead tracks, per requesting node, the last block read — the
+	// Streamed mode's stream detector.
+	streamHead  map[int]int64
+	streamDepth int
+
+	// dcd, when non-nil, is the Disk Caching Disk log interposed between
+	// the controller cache and the data mechanism (§6 baseline).
+	dcd *dcdLog
+
+	nackFIFO []nackEntry
+	// NotifyOK is invoked when controller-cache room appears for a
+	// previously NACKed write; the machine layer turns it into an OK
+	// message to the node. Must be set before use if writes can NACK.
+	NotifyOK func(node int, page PageID)
+	// OnRoom, if set, fires after each completed media write-back, i.e.
+	// whenever cache room may have appeared (used to kick the NWCache
+	// interface's drain loop).
+	OnRoom func()
+
+	wbKick *sim.Cond // wakes the write-back daemon
+
+	// Statistics.
+	Reads      uint64
+	ReadHits   uint64
+	Writes     uint64
+	WritesACK  uint64
+	WritesNACK uint64
+	Combining  stats.Mean // pages per media write access
+	MediaReads uint64
+	MediaWrite uint64
+}
+
+// New constructs a disk and starts its write-back daemon.
+func New(e *sim.Engine, name string, cfg param.Config, mode PrefetchMode) *Disk {
+	var arm armSched
+	if cfg.DiskReadPriority {
+		arm = prioArm{sim.NewServer(e, name+".arm")}
+	} else {
+		arm = fcfsArm{sim.NewResource(e, name+".arm")}
+	}
+	d := &Disk{
+		e:            e,
+		name:         name,
+		mode:         mode,
+		slots:        make([]slot, cfg.DiskCacheSlots()),
+		arm:          arm,
+		ctrl:         sim.NewResource(e, name+".ctrl"),
+		ctrlOverhead: cfg.CtrlOverhead,
+		minSeek:      cfg.MinSeek,
+		maxSeek:      cfg.MaxSeek,
+		rot:          cfg.RotLatency,
+		pageXfer:     cfg.PageDiskTime(),
+		maxBlockSeen: 1,
+		wbDwell:      cfg.WBDwell,
+		wbKick:       sim.NewCond(e),
+		pendingPF:    make(map[int64]bool),
+		streamHead:   make(map[int]int64),
+		streamDepth:  cfg.StreamDepth,
+	}
+	d.pendingPFDone = sim.NewCond(e)
+	if cfg.DCD {
+		d.dcd = newDCDLog(e, d, cfg.DCDLogBlocks)
+	}
+	e.SpawnDaemon(name+".writeback", d.writebackLoop)
+	return d
+}
+
+// HasDCD reports whether the DCD log disk is attached.
+func (d *Disk) HasDCD() bool { return d.dcd != nil }
+
+// DCDLogged returns the number of blocks currently in the DCD log.
+func (d *Disk) DCDLogged() int {
+	if d.dcd == nil {
+		return 0
+	}
+	return len(d.dcd.fifo)
+}
+
+// Mode returns the prefetch mode.
+func (d *Disk) Mode() PrefetchMode { return d.mode }
+
+// CacheSlots returns the controller cache capacity in pages.
+func (d *Disk) CacheSlots() int { return len(d.slots) }
+
+// seekTime returns the head movement cost from the current position to
+// block, proportional to distance over the in-use span.
+func (d *Disk) seekTime(block int64) int64 {
+	dist := block - d.headPos
+	if dist < 0 {
+		dist = -dist
+	}
+	if block > d.maxBlockSeen {
+		d.maxBlockSeen = block
+	}
+	span := d.maxBlockSeen
+	if span < 1 {
+		span = 1
+	}
+	if dist > span {
+		dist = span
+	}
+	return d.minSeek + (d.maxSeek-d.minSeek)*dist/span
+}
+
+// find returns the slot index caching page, or -1.
+func (d *Disk) find(page PageID) int {
+	for i := range d.slots {
+		if d.slots[i].valid && d.slots[i].page == page {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim returns the best slot to receive new data: an invalid slot
+// first, then the LRU clean (non-dirty, non-busy) slot. The paper's
+// "writes are given preference over prefetches" emerges from the dirty
+// shield: dirty slots are never evictable, prefetched ones always are.
+// Returns -1 if every slot holds a dirty or in-flight page.
+func (d *Disk) victim(forWrite bool) int {
+	_ = forWrite // reads and writes share the policy; dirty is the shield
+	best := -1
+	for i := range d.slots {
+		s := &d.slots[i]
+		if !s.valid {
+			return i
+		}
+		if s.dirty || s.busy {
+			continue
+		}
+		if best == -1 || s.lastUse < d.slots[best].lastUse {
+			best = i
+		}
+	}
+	return best
+}
+
+// touch refreshes a slot's LRU stamp.
+func (d *Disk) touch(i int) {
+	d.useCounter++
+	d.slots[i].lastUse = d.useCounter
+}
+
+// ReadOutcome classifies how a page read was served.
+type ReadOutcome int
+
+// Read outcomes.
+const (
+	Miss        ReadOutcome = iota // dedicated media access
+	HitCache                       // satisfied immediately from the controller cache
+	HitInflight                    // waited for an in-flight sequential prefetch
+)
+
+// Hit reports whether the outcome avoided a dedicated media access.
+func (o ReadOutcome) Hit() bool { return o != Miss }
+
+// Read services a page read request from node `from` in the context of p
+// (one proc per request; the controller can overlap cache hits with media
+// activity). It returns when the page data is available in the controller
+// buffer, ready for the caller to move across the I/O bus.
+func (d *Disk) Read(p *sim.Proc, from int, page PageID, block int64) ReadOutcome {
+	d.Reads++
+	d.ctrl.Use(p, d.ctrlOverhead)
+	streaming := d.mode == Streamed && d.streamHead[from]+1 == block
+	d.streamHead[from] = block
+	if i := d.find(page); i >= 0 {
+		d.touch(i)
+		d.ReadHits++
+		if streaming {
+			d.extendStream(page, block)
+		}
+		return HitCache
+	}
+	if d.mode == Optimal {
+		// Idealized prefetching: every request is satisfied from the
+		// cache; the media read happened in the background.
+		d.ReadHits++
+		d.installClean(page, block, false)
+		return HitCache
+	}
+	// A sequential prefetch for this block is already streaming off the
+	// media: wait for it rather than issuing a duplicate access.
+	if d.pendingPF[block] {
+		for d.pendingPF[block] {
+			d.pendingPFDone.Wait(p)
+		}
+		d.ReadHits++
+		if streaming {
+			d.extendStream(page, block)
+		}
+		return HitInflight
+	}
+	// A block still sitting in the DCD log is read from the log mechanism
+	// (a random log access, comparable in cost to the data disk — §6).
+	if d.dcd != nil && d.dcd.contains(block) {
+		d.MediaReads++
+		d.dcd.readBlock(p)
+		d.installClean(page, block, false)
+		return Miss
+	}
+	// Dedicated media read.
+	d.MediaReads++
+	dur := d.seekTime(block) + d.rot + d.pageXfer
+	d.arm.Use(p, sim.High, dur)
+	d.headPos = block
+	d.installClean(page, block, false)
+	switch d.mode {
+	case Naive:
+		// Fill the remaining clean slots with sequentially-following
+		// pages, whether or not the requester is actually sequential.
+		d.spawnSequentialPrefetch(page, block, d.prefetchableSlots())
+	case Streamed:
+		// Read ahead only for a confirmed sequential stream, and only a
+		// bounded window, so random requesters do not trash the cache.
+		if streaming {
+			d.extendStream(page, block)
+		}
+	}
+	return Miss
+}
+
+// extendStream prefetches the Streamed mode's read-ahead window beyond
+// block, bounded by streamDepth and the clean slots available.
+func (d *Disk) extendStream(page PageID, block int64) {
+	n := d.prefetchableSlots()
+	if n > d.streamDepth {
+		n = d.streamDepth
+	}
+	// Skip pages already cached or in flight.
+	for n > 0 && (d.find(page+1) >= 0 || d.pendingPF[block+1]) {
+		page, block = page+1, block+1
+		n--
+	}
+	if n > 0 {
+		d.spawnSequentialPrefetch(page, block, n)
+	}
+}
+
+// prefetchableSlots counts cache slots a prefetch could fill right now:
+// invalid slots plus clean slots, reserving the most recently used clean
+// slot (the demand page that triggered the prefetch must survive it).
+func (d *Disk) prefetchableSlots() int {
+	invalid, clean := 0, 0
+	for i := range d.slots {
+		s := &d.slots[i]
+		switch {
+		case !s.valid:
+			invalid++
+		case !s.dirty && !s.busy:
+			clean++
+		}
+	}
+	if clean > 0 {
+		clean--
+	}
+	return invalid + clean
+}
+
+// installClean places a clean page into the cache if a slot is available;
+// silently bypasses the cache otherwise.
+func (d *Disk) installClean(page PageID, block int64, prefetched bool) {
+	if d.find(page) >= 0 {
+		return
+	}
+	i := d.victim(false)
+	if i < 0 {
+		return // cache full of dirty swap-outs: serve as bypass
+	}
+	d.slots[i] = slot{valid: true, page: page, block: block, prefetched: prefetched}
+	d.touch(i)
+}
+
+// spawnSequentialPrefetch reads the n blocks sequentially following
+// `block` into clean cache slots, in the background.
+func (d *Disk) spawnSequentialPrefetch(page PageID, block int64, n int) {
+	if n <= 0 {
+		return
+	}
+	for k := 1; k <= n; k++ {
+		d.pendingPF[block+int64(k)] = true
+	}
+	d.e.SpawnDaemon(d.name+".prefetch", func(p *sim.Proc) {
+		// Head is already at block: sequential read costs transfer only.
+		d.arm.Use(p, sim.High, int64(n)*d.pageXfer)
+		d.headPos = block + int64(n)
+		for k := 1; k <= n; k++ {
+			d.installClean(page+int64(k), block+int64(k), true)
+			delete(d.pendingPF, block+int64(k))
+		}
+		d.pendingPFDone.Broadcast()
+	})
+}
+
+// Write services a swap-out arriving at the controller in the context of
+// p. On ACK the page occupies a cache slot and is scheduled for combined
+// write-back. On NACK the (node, page) pair is queued; NotifyOK fires when
+// room appears.
+func (d *Disk) Write(p *sim.Proc, node int, page PageID, block int64) WriteStatus {
+	d.Writes++
+	d.ctrl.Use(p, d.ctrlOverhead)
+	if i := d.find(page); i >= 0 {
+		// Overwrite of a page still cached: update in place.
+		d.slots[i].dirty = true
+		d.slots[i].prefetched = false
+		d.seqCounter++
+		d.slots[i].seq = d.seqCounter
+		d.touch(i)
+		d.WritesACK++
+		d.wbKick.Signal()
+		return ACK
+	}
+	i := d.victim(true)
+	if i < 0 {
+		d.WritesNACK++
+		d.nackFIFO = append(d.nackFIFO, nackEntry{Node: node, Page: page})
+		return NACK
+	}
+	d.seqCounter++
+	d.slots[i] = slot{valid: true, page: page, block: block, dirty: true, seq: d.seqCounter}
+	d.touch(i)
+	d.WritesACK++
+	d.wbKick.Signal()
+	return ACK
+}
+
+// HasWriteRoom reports whether a swap-out write would be ACKed right now.
+func (d *Disk) HasWriteRoom() bool { return d.victim(true) >= 0 }
+
+// DirtySlots returns the number of cache slots holding unwritten swap-outs.
+func (d *Disk) DirtySlots() int {
+	n := 0
+	for i := range d.slots {
+		if d.slots[i].valid && d.slots[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingNACKs returns the depth of the NACK FIFO.
+func (d *Disk) PendingNACKs() int { return len(d.nackFIFO) }
+
+// writebackLoop drains dirty slots to the media, combining consecutive
+// blocks into single accesses, and releases OKs for NACKed writes as room
+// appears.
+func (d *Disk) writebackLoop(p *sim.Proc) {
+	for {
+		group := d.pickWriteGroup()
+		if len(group) == 0 {
+			d.wbKick.Wait(p)
+			// Dwell briefly after waking from idle so a burst of
+			// consecutive swap-outs can accumulate and be combined.
+			p.Sleep(d.wbDwell)
+			continue
+		}
+		// Mark the group busy: the slots cannot be evicted or selected for
+		// another write-back while their data streams to the media, though
+		// reads may still hit them and a re-write to the same page bumps
+		// the sequence number (handled below).
+		seqs := make([]uint64, len(group))
+		for k, i := range group {
+			d.slots[i].busy = true
+			seqs[k] = d.slots[i].seq
+		}
+		if d.dcd != nil {
+			// DCD: destage to the log disk with a cheap sequential write;
+			// the destage daemon moves it to the data disk later. Block
+			// when the log is full (the DCD's own back-pressure).
+			for !d.dcd.hasRoom(len(group)) {
+				d.dcd.room.Wait(p)
+			}
+			blocks := make([]int64, len(group))
+			for k, i := range group {
+				blocks[k] = d.slots[i].block
+			}
+			d.dcd.appendBatch(p, blocks)
+		} else {
+			start := d.slots[group[0]].block
+			dur := d.seekTime(start) + d.rot + int64(len(group))*d.pageXfer
+			d.arm.Use(p, sim.Low, dur) // background write-back: low priority
+			d.headPos = start + int64(len(group))
+			d.MediaWrite++
+			d.Combining.Add(float64(len(group)))
+		}
+		for k, i := range group {
+			d.slots[i].busy = false
+			if d.slots[i].seq == seqs[k] {
+				d.slots[i].dirty = false // clean; still cached for reads
+			}
+			// else: overwritten mid-flight, stays dirty for another pass.
+		}
+		d.releaseNACKs()
+		if d.OnRoom != nil {
+			d.OnRoom()
+		}
+	}
+}
+
+// pickWriteGroup chooses the dirty slots for the next media write: the
+// oldest dirty slot plus every dirty slot whose block is consecutive with
+// it (in either direction), written in one access. Returned indices are in
+// ascending block order.
+func (d *Disk) pickWriteGroup() []int {
+	oldest := -1
+	for i := range d.slots {
+		s := &d.slots[i]
+		if s.valid && s.dirty && !s.busy && (oldest == -1 || s.seq < d.slots[oldest].seq) {
+			oldest = i
+		}
+	}
+	if oldest == -1 {
+		return nil
+	}
+	type bi struct {
+		idx   int
+		block int64
+	}
+	var dirty []bi
+	for i := range d.slots {
+		if d.slots[i].valid && d.slots[i].dirty && !d.slots[i].busy {
+			dirty = append(dirty, bi{i, d.slots[i].block})
+		}
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a].block < dirty[b].block })
+	// Find the maximal consecutive run containing `oldest`.
+	pos := -1
+	for k, x := range dirty {
+		if x.idx == oldest {
+			pos = k
+			break
+		}
+	}
+	lo, hi := pos, pos
+	for lo > 0 && dirty[lo-1].block == dirty[lo].block-1 {
+		lo--
+	}
+	for hi+1 < len(dirty) && dirty[hi+1].block == dirty[hi].block+1 {
+		hi++
+	}
+	group := make([]int, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		group = append(group, dirty[k].idx)
+	}
+	return group
+}
+
+// releaseNACKs sends OK for as many queued NACKs as there are slots able
+// to receive a write, in FIFO order. Sending an OK does not reserve the
+// slot (just as in the paper's protocol); a resent page that loses the
+// race is simply NACKed again.
+func (d *Disk) releaseNACKs() {
+	if len(d.nackFIFO) == 0 {
+		return
+	}
+	free := 0
+	for i := range d.slots {
+		s := &d.slots[i]
+		if !s.valid || (!s.dirty && !s.busy) {
+			free++
+		}
+	}
+	n := free
+	if n > len(d.nackFIFO) {
+		n = len(d.nackFIFO)
+	}
+	if n == 0 {
+		return
+	}
+	batch := append([]nackEntry(nil), d.nackFIFO[:n]...)
+	d.nackFIFO = append(d.nackFIFO[:0], d.nackFIFO[n:]...)
+	if d.NotifyOK == nil {
+		panic(fmt.Sprintf("disk %s: NACKed writes but NotifyOK unset", d.name))
+	}
+	for _, en := range batch {
+		d.NotifyOK(en.Node, en.Page)
+	}
+}
+
+// Invalidate drops a clean cached copy of page (used when a victim read
+// from the ring supersedes the disk copy path). Dirty slots are kept: the
+// data must still reach the media. Returns true if a slot was dropped.
+func (d *Disk) Invalidate(page PageID) bool {
+	i := d.find(page)
+	if i < 0 || d.slots[i].dirty {
+		return false
+	}
+	d.slots[i] = slot{}
+	return true
+}
+
+// ArmBusy exposes the mechanism's cumulative busy time.
+func (d *Disk) ArmBusy() int64 { return d.arm.BusyTime() }

@@ -1,0 +1,77 @@
+package exp
+
+// The paper's published numbers (Tables 2-8 of Carrera & Bianchini, IPPS
+// 1999), embedded so reports can print paper-versus-measured side by
+// side. Application order: em3d, fft, gauss, lu, mg, radix, sor (the
+// suite's sorted order, which matches the paper's tables).
+
+// PaperValues holds one table's reference values by application.
+type PaperValues map[string]float64
+
+// Paper reference data.
+var (
+	// PaperTable2MB is Table 2's total data size (MB).
+	PaperTable2MB = PaperValues{
+		"em3d": 2.5, "fft": 3.1, "gauss": 2.3, "lu": 2.7,
+		"mg": 2.4, "radix": 2.6, "sor": 2.6,
+	}
+	// PaperTable3Std/NWC are Table 3's average swap-out times under
+	// optimal prefetching (Mpcycles).
+	PaperTable3Std = PaperValues{
+		"em3d": 49.2, "fft": 86.6, "gauss": 30.9, "lu": 39.6,
+		"mg": 33.1, "radix": 48.4, "sor": 31.8,
+	}
+	PaperTable3NWC = PaperValues{
+		"em3d": 1.8, "fft": 3.1, "gauss": 1.0, "lu": 2.0,
+		"mg": 0.6, "radix": 2.7, "sor": 1.3,
+	}
+	// PaperTable4Std/NWC are Table 4's average swap-out times under naive
+	// prefetching (Kpcycles).
+	PaperTable4Std = PaperValues{
+		"em3d": 180.4, "fft": 318.1, "gauss": 789.8, "lu": 455.0,
+		"mg": 150.8, "radix": 1776.9, "sor": 819.4,
+	}
+	PaperTable4NWC = PaperValues{
+		"em3d": 2.8, "fft": 31.8, "gauss": 86.3, "lu": 24.3,
+		"mg": 19.2, "radix": 2.8, "sor": 12.5,
+	}
+	// PaperTable5Std/NWC are Table 5's write-combining factors under
+	// optimal prefetching.
+	PaperTable5Std = PaperValues{
+		"em3d": 1.11, "fft": 1.20, "gauss": 1.06, "lu": 1.13,
+		"mg": 1.11, "radix": 1.08, "sor": 1.46,
+	}
+	PaperTable5NWC = PaperValues{
+		"em3d": 1.12, "fft": 1.39, "gauss": 1.07, "lu": 1.24,
+		"mg": 1.16, "radix": 1.12, "sor": 2.30,
+	}
+	// PaperTable6Std/NWC are Table 6's write-combining factors under
+	// naive prefetching.
+	PaperTable6Std = PaperValues{
+		"em3d": 1.10, "fft": 1.35, "gauss": 1.03, "lu": 1.05,
+		"mg": 1.05, "radix": 1.05, "sor": 1.18,
+	}
+	PaperTable6NWC = PaperValues{
+		"em3d": 1.10, "fft": 1.38, "gauss": 1.04, "lu": 1.05,
+		"mg": 1.11, "radix": 1.07, "sor": 1.37,
+	}
+	// PaperTable7Naive/Optimal are Table 7's NWCache hit rates (%).
+	PaperTable7Naive = PaperValues{
+		"em3d": 8.5, "fft": 9.8, "gauss": 49.9, "lu": 13.5,
+		"mg": 41.1, "radix": 17.2, "sor": 25.8,
+	}
+	PaperTable7Optimal = PaperValues{
+		"em3d": 10.0, "fft": 13.0, "gauss": 58.3, "lu": 19.5,
+		"mg": 59.1, "radix": 22.6, "sor": 24.1,
+	}
+	// PaperTable8Std/NWC are Table 8's disk-cache-hit fault latencies
+	// under naive prefetching (Kpcycles).
+	PaperTable8Std = PaperValues{
+		"em3d": 13.4, "fft": 25.9, "gauss": 16.7, "lu": 21.5,
+		"mg": 19.1, "radix": 12.6, "sor": 14.3,
+	}
+	PaperTable8NWC = PaperValues{
+		"em3d": 9.7, "fft": 19.6, "gauss": 10.4, "lu": 20.3,
+		"mg": 6.7, "radix": 9.2, "sor": 10.2,
+	}
+)

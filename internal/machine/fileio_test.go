@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"testing"
+
+	"nwcache/internal/disk"
+)
+
+func TestFileReadDoesNotConsumeFrames(t *testing.T) {
+	cfg := smallCfg()
+	m, err := New(cfg, Standard, disk.Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &testProg{name: "fread", pages: 32, fn: func(ctx *Ctx, proc int) {
+		if proc != 0 {
+			return
+		}
+		ctx.FileRead(0, 32) // far more pages than one node's frames
+	}}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 0 {
+		t.Fatalf("explicit reads caused %d page faults", res.Faults)
+	}
+	if m.Nodes[0].ExplicitReads != 32 {
+		t.Fatalf("explicit reads %d", m.Nodes[0].ExplicitReads)
+	}
+	// All frames still free: explicit I/O never mapped anything.
+	if m.Nodes[0].Pool.Free() != m.Nodes[0].Pool.Total() {
+		t.Fatal("explicit I/O consumed page frames")
+	}
+}
+
+func TestFileWriteReachesDisk(t *testing.T) {
+	cfg := smallCfg()
+	m, err := New(cfg, Standard, disk.Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &testProg{name: "fwrite", pages: 16, fn: func(ctx *Ctx, proc int) {
+		if proc != 0 {
+			return
+		}
+		ctx.FileWrite(0, 16)
+	}}
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	var mediaWrites uint64
+	for _, d := range m.Disks {
+		mediaWrites += d.MediaWrite
+	}
+	if mediaWrites == 0 {
+		t.Fatal("explicit writes never reached the media")
+	}
+	if err := m.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileIOSlowerThanWarmVMAccess(t *testing.T) {
+	// Reading the same page twice: the VM version faults once then hits
+	// memory; the explicit version pays syscall+disk+copy twice.
+	cfg := smallCfg()
+	run := func(explicit bool) int64 {
+		prog := &testProg{name: "cmp", pages: 2, fn: func(ctx *Ctx, proc int) {
+			if proc != 0 {
+				return
+			}
+			for i := 0; i < 5; i++ {
+				if explicit {
+					ctx.FileRead(0, 1)
+				} else {
+					ctx.Read(0, 0, 16)
+				}
+			}
+		}}
+		res := runProg(t, cfg, Standard, disk.Naive, prog)
+		return res.ExecTime
+	}
+	vm := run(false)
+	ex := run(true)
+	if ex <= vm {
+		t.Fatalf("explicit I/O %d <= VM %d for re-read data", ex, vm)
+	}
+}
+
+func TestExplicitBufferPages(t *testing.T) {
+	cfg := smallCfg()
+	if got := ExplicitBufferPages(cfg); got != cfg.FramesPerNode()-cfg.MinFreeFrames {
+		t.Fatalf("buffer pages %d", got)
+	}
+}

@@ -1,0 +1,252 @@
+// Package machine assembles the full simulated multiprocessor — mesh
+// interconnect, nodes (processor, TLB, cache filter, local memory, buses),
+// disks with controller caches, and optionally the NWCache optical ring —
+// and orchestrates the operating system's fault and swap-out protocols on
+// top of the substrate packages.
+//
+// Two machine kinds are supported, matching the paper's comparison:
+//
+//   - Standard: swap-outs travel over the mesh to the disk controller
+//     cache, governed by the ACK/NACK/OK flow-control protocol.
+//   - NWCache: swap-outs are inserted on the node's optical cache channel
+//     (freeing the frame immediately), drained to disk by the NWCache
+//     interfaces, and victim-read straight off the ring on a fault.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwcache/internal/coherence"
+	"nwcache/internal/disk"
+	"nwcache/internal/mesh"
+	"nwcache/internal/optical"
+	"nwcache/internal/param"
+	"nwcache/internal/pfs"
+	"nwcache/internal/sim"
+	"nwcache/internal/stats"
+	"nwcache/internal/tlb"
+	"nwcache/internal/trace"
+	"nwcache/internal/vm"
+)
+
+// PageID is a virtual page number.
+type PageID = vm.PageID
+
+// LineSize is the cache-line granularity (bytes) used for access costs.
+const LineSize = 64
+
+// Kind selects the machine architecture under evaluation.
+type Kind int
+
+// Machine kinds.
+const (
+	Standard Kind = iota
+	NWCache
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == NWCache {
+		return "nwcache"
+	}
+	return "standard"
+}
+
+// Node bundles everything living at one mesh position.
+type Node struct {
+	ID     int
+	MemBus *sim.Resource
+	IOBus  *sim.Resource
+	TLB    *tlb.TLB
+	CC     *coherence.Cache
+	Pool   *vm.FramePool
+
+	pendingIntr int64          // interrupt cycles to charge at next op
+	swapSem     *sim.Semaphore // bounds outstanding swap-outs
+	okCond      map[PageID]*sim.Cond
+	chanRoom    *sim.Cond    // NWCache: channel slot freed
+	ringTx      *sim.Mutex   // NWCache: the node's single fixed transmitter
+	WB          *writeBuffer // coalescing write buffer (nil when disabled)
+
+	// CPU accounting (the paper's Figures 3/4 categories).
+	CPU     stats.Breakdown
+	charged int64
+	doneAt  sim.Time
+
+	// Counters.
+	ExplicitReads  uint64
+	ExplicitWrites uint64
+	Faults         uint64
+	RingHits       uint64
+	DiskHits       uint64
+	DiskMisses     uint64
+	RemoteAccs     uint64
+	LocalAccs      uint64
+	SwapOuts       uint64
+	CleanEvicts    uint64
+	SwapTime       stats.Mean      // frame-release latency per swap-out
+	FaultHitLat    stats.Mean      // fault latency when served by a disk cache hit
+	SwapHist       stats.Histogram // distribution of swap-out times
+}
+
+// Machine is one simulated multiprocessor instance.
+type Machine struct {
+	E      *sim.Engine
+	Cfg    param.Config
+	Kind   Kind
+	Mode   disk.PrefetchMode
+	Mesh   *mesh.Mesh
+	Layout *pfs.Layout
+	Table  *vm.Table
+	Ring   *optical.Ring          // nil on Standard
+	Ifaces map[int]*optical.Iface // NWCache interfaces by I/O node id
+	Disks  map[int]*disk.Disk     // by I/O node id
+	Nodes  []*Node
+
+	// Dir is the machine-wide coherence directory (home state lives with
+	// each page's current frame; see internal/coherence).
+	Dir *coherence.Directory
+
+	// Tracer, when non-nil, receives typed events for every fault,
+	// swap-out, and ring/disk protocol action (see internal/trace).
+	Tracer *trace.Tracer
+
+	// OpLog, when non-nil, observes every application-level operation
+	// (touch/compute/barrier/lock/file I/O) as it is issued — the hook
+	// behind record/replay (see internal/workload's OpTrace).
+	OpLog func(op OpEvent)
+
+	barrier *sim.Barrier
+	locks   map[int]*sim.Mutex
+
+	rng *rand.Rand
+}
+
+// emit records a trace event if tracing is enabled.
+func (m *Machine) emit(kind trace.Kind, node int, page PageID, arg int64) {
+	m.Tracer.Emit(m.E.Now(), kind, node, page, arg)
+}
+
+// New builds a machine of the given kind and prefetch mode.
+func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := sim.New()
+	m := &Machine{
+		E:      e,
+		Cfg:    cfg,
+		Kind:   kind,
+		Mode:   mode,
+		Mesh:   mesh.New(e, cfg),
+		Layout: pfs.New(cfg),
+		Table:  vm.NewTable(e),
+		Ifaces: make(map[int]*optical.Iface),
+		Disks:  make(map[int]*disk.Disk),
+		Dir:    coherence.NewDirectory(),
+		locks:  make(map[int]*sim.Mutex),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			ID:       i,
+			MemBus:   sim.NewResource(e, fmt.Sprintf("membus%d", i)),
+			IOBus:    sim.NewResource(e, fmt.Sprintf("iobus%d", i)),
+			TLB:      tlb.New(cfg.TLBEntries),
+			CC:       coherence.NewCache(i, cfg.L2SubBlocks),
+			Pool:     vm.NewFramePool(e, i, cfg.FramesPerNode(), cfg.MinFreeFrames),
+			swapSem:  sim.NewSemaphore(e, cfg.SwapQueueDepth),
+			okCond:   make(map[PageID]*sim.Cond),
+			chanRoom: sim.NewCond(e),
+			ringTx:   sim.NewMutex(e),
+		}
+		m.Nodes = append(m.Nodes, n)
+	}
+	for _, ioNode := range m.Layout.IONodes() {
+		d := disk.New(e, fmt.Sprintf("disk@%d", ioNode), cfg, mode)
+		m.Disks[ioNode] = d
+		ioNode := ioNode
+		d.NotifyOK = func(node int, page disk.PageID) { m.deliverOK(ioNode, node, page) }
+	}
+	if kind == NWCache {
+		m.Ring = optical.New(e, cfg)
+		for _, ioNode := range m.Layout.IONodes() {
+			f := optical.NewIface(e, m.Ring, ioNode)
+			d := m.Disks[ioNode]
+			f.DiskHasRoom = func() bool { return d.HasWriteRoom() }
+			f.DiskInstall = func(p *sim.Proc, page optical.PageID) bool {
+				ok := d.Write(p, ioNode, page, m.Layout.BlockFor(page)) == disk.ACK
+				if ok {
+					m.emit(trace.RingDrain, ioNode, page, 0)
+				}
+				return ok
+			}
+			f.SendACK = func(en *optical.Entry) { m.deliverRingACK(ioNode, en) }
+			d.OnRoom = f.Kick
+			m.Ifaces[ioNode] = f
+		}
+	}
+	// Spawn the per-node replacement daemons and (optionally) the
+	// coalescing write buffers of Figure 1.
+	for _, n := range m.Nodes {
+		n := n
+		e.SpawnDaemon(fmt.Sprintf("replace%d", n.ID), func(p *sim.Proc) { m.replaceLoop(p, n) })
+		if cfg.WriteBufferDepth > 0 {
+			n.WB = newWriteBuffer(m, n, cfg.WriteBufferDepth)
+		}
+	}
+	return m, nil
+}
+
+// deliverOK routes a disk controller's OK message (room now available for a
+// previously NACKed swap-out) back to the swapping node over the mesh.
+func (m *Machine) deliverOK(from, to int, page PageID) {
+	arrive := m.Mesh.Transit(m.E.Now(), from, to, m.Cfg.CtrlMsgLen)
+	m.E.At(arrive, func() {
+		if c, ok := m.Nodes[to].okCond[page]; ok {
+			c.Signal()
+		}
+	})
+}
+
+// deliverRingACK routes the ACK for a page that left the ring (drained to
+// disk or victim-read) to the node that swapped it out. On arrival the
+// channel slot is released, the Ring bit is cleared, and swap-outs stalled
+// on channel room are woken.
+func (m *Machine) deliverRingACK(from int, en *optical.Entry) {
+	to := m.Ring.OwnerOf(en.Channel)
+	arrive := m.Mesh.Transit(m.E.Now(), from, to, m.Cfg.CtrlMsgLen)
+	m.E.At(arrive, func() {
+		// Clear the Ring bit if the page is still recorded as on-ring
+		// (a victim read may already have re-mapped it).
+		if pte, ok := m.Table.Lookup(en.Page); ok && pte.State == vm.OnRing && pte.RingEntry == en {
+			pte.State = vm.Unmapped
+			pte.Owner = -1
+			pte.RingEntry = nil
+			pte.Dirty = false // the disk controller now holds the data
+			pte.Arrived.Broadcast()
+		}
+		m.emit(trace.RingRelease, to, en.Page, 0)
+		m.Ring.Release(en)
+		m.Nodes[to].chanRoom.Broadcast()
+		// Room on the ring means drains happened; nothing else to do —
+		// disk room changes are kicked by the disk write path itself.
+	})
+}
+
+// Lock returns (creating on demand) an application-level lock.
+func (m *Machine) Lock(id int) *sim.Mutex {
+	l, ok := m.locks[id]
+	if !ok {
+		l = sim.NewMutex(m.E)
+		m.locks[id] = l
+	}
+	return l
+}
+
+// DiskFor returns the disk and its node id for a page.
+func (m *Machine) DiskFor(page PageID) (*disk.Disk, int) {
+	node := m.Layout.NodeFor(page)
+	return m.Disks[node], node
+}

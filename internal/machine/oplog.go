@@ -1,0 +1,36 @@
+package machine
+
+// OpKind identifies an application-level operation for the OpLog hook.
+type OpKind uint8
+
+// Application operation kinds.
+const (
+	OpTouch OpKind = iota
+	OpCompute
+	OpBarrier
+	OpLockAcquire
+	OpLockRelease
+	OpFileRead
+	OpFileWrite
+)
+
+// OpEvent is one application operation as observed by Machine.OpLog.
+type OpEvent struct {
+	Proc   int
+	Kind   OpKind
+	Page   PageID // OpTouch/OpFileRead/OpFileWrite
+	Sub    int    // OpTouch
+	Lines  int    // OpTouch
+	Write  bool   // OpTouch
+	Cycles int64  // OpCompute
+	Lock   int    // OpLockAcquire/OpLockRelease
+	Pages  int    // OpFileRead/OpFileWrite
+}
+
+// logOp forwards an operation to the OpLog hook if installed.
+func (c *Ctx) logOp(ev OpEvent) {
+	if c.m.OpLog != nil {
+		ev.Proc = c.n.ID
+		c.m.OpLog(ev)
+	}
+}

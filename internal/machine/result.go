@@ -1,0 +1,42 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"nwcache/internal/stats"
+)
+
+// String renders the result as a human-readable report (used by cmd/nwsim
+// and available to library users).
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "app=%s machine=%s prefetch=%s\n\n", r.App, r.Kind, r.Mode)
+	fmt.Fprintf(&sb, "execution time:      %d pcycles (%.2f ms simulated)\n",
+		r.ExecTime, float64(r.ExecTime)*5e-6)
+	fmt.Fprintf(&sb, "page faults:         %d (ring hits %d, disk cache hits %d, disk misses %d)\n",
+		r.Faults, r.RingHits, r.DiskHits, r.DiskMisses)
+	fmt.Fprintf(&sb, "swap-outs:           %d (avg %.1f Kpcycles to free the frame)\n",
+		r.SwapOuts, r.AvgSwapTime/1e3)
+	fmt.Fprintf(&sb, "clean evictions:     %d\n", r.CleanEvicts)
+	fmt.Fprintf(&sb, "write combining:     %.2f pages per disk write\n", r.Combining)
+	if r.Kind == NWCache {
+		fmt.Fprintf(&sb, "ring hit rate:       %.1f%% (peak ring occupancy %d pages)\n",
+			r.RingHitRate*100, r.RingPeakUsed)
+	}
+	fmt.Fprintf(&sb, "fault latency (disk cache hits): %.1f Kpcycles\n", r.FaultHitLat/1e3)
+	fmt.Fprintf(&sb, "network traffic:     %d messages, %.2f MB, max link util %.1f%%\n",
+		r.NetMessages, float64(r.NetBytes)/(1<<20), r.MaxLinkUtil*100)
+	fmt.Fprintf(&sb, "accesses:            %d local, %d remote\n\n", r.LocalAccs, r.RemoteAccs)
+
+	t := &stats.Table{
+		Title:   "Execution time breakdown (fraction of total)",
+		Headers: []string{"Category", "Fraction"},
+	}
+	frac := r.Breakdown.Fractions()
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		t.AddRow(c.String(), stats.FmtF(frac[c], 3))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwcache/internal/sim"
+	"nwcache/internal/stats"
+)
+
+// Program is a parallel application the machine can execute: one thread
+// per node, each driven through a Ctx. Implementations live in
+// internal/workload.
+type Program interface {
+	// Name identifies the application (e.g. "lu").
+	Name() string
+	// DataPages returns the virtual-memory footprint in pages (for
+	// reporting; Table 2 of the paper).
+	DataPages() int64
+	// Run executes thread `proc` of the application to completion.
+	Run(ctx *Ctx, proc int)
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	App  string
+	Kind Kind
+	Mode string
+
+	ExecTime  int64 // pcycles: completion of the slowest thread
+	Breakdown stats.Breakdown
+	PerNode   []stats.Breakdown
+
+	Faults       uint64
+	RingHits     uint64
+	DiskHits     uint64
+	DiskMisses   uint64
+	SwapOuts     uint64
+	CleanEvicts  uint64
+	AvgSwapTime  float64 // pcycles per swap-out (frame-release latency)
+	Combining    float64 // pages per media write access
+	RingHitRate  float64 // ring hits / faults
+	FaultHitLat  float64 // fault latency when served by a disk cache hit
+	NetBytes     int64
+	NetMessages  uint64
+	MaxLinkUtil  float64
+	RingPeakUsed int
+	RemoteAccs   uint64
+	LocalAccs    uint64
+}
+
+// Run executes a program on the machine and collects the result. A
+// machine instance runs exactly one program; build a fresh Machine per
+// run.
+func (m *Machine) Run(prog Program) (*Result, error) {
+	procs := m.Cfg.Nodes
+	m.barrier = sim.NewBarrier(m.E, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		n := m.Nodes[i]
+		m.E.Spawn(fmt.Sprintf("cpu%d", i), func(p *sim.Proc) {
+			ctx := &Ctx{
+				m:   m,
+				n:   n,
+				p:   p,
+				rng: rand.New(rand.NewSource(m.Cfg.Seed + int64(i)*1_000_003)),
+			}
+			prog.Run(ctx, i)
+			n.doneAt = p.Now()
+		})
+	}
+	if err := m.E.Run(); err != nil {
+		return nil, fmt.Errorf("machine: %s on %s/%s: %w", prog.Name(), m.Kind, m.Mode, err)
+	}
+	return m.collect(prog), nil
+}
+
+// collect builds the Result after the simulation has drained.
+func (m *Machine) collect(prog Program) *Result {
+	r := &Result{
+		App:  prog.Name(),
+		Kind: m.Kind,
+		Mode: m.Mode.String(),
+	}
+	for _, n := range m.Nodes {
+		if n.doneAt > r.ExecTime {
+			r.ExecTime = n.doneAt
+		}
+	}
+	var swap stats.Mean
+	var hitLat stats.Mean
+	for _, n := range m.Nodes {
+		// Everything not explicitly categorized is Other: compute, cache
+		// misses, bus traffic, synchronization.
+		other := n.doneAt - n.charged
+		if other < 0 {
+			panic(fmt.Sprintf("machine: node %d charged %d > runtime %d", n.ID, n.charged, n.doneAt))
+		}
+		n.CPU.Add(stats.Other, other)
+		r.PerNode = append(r.PerNode, n.CPU)
+		r.Breakdown.Merge(n.CPU)
+		r.Faults += n.Faults
+		r.RingHits += n.RingHits
+		r.DiskHits += n.DiskHits
+		r.DiskMisses += n.DiskMisses
+		r.SwapOuts += n.SwapOuts
+		r.CleanEvicts += n.CleanEvicts
+		r.RemoteAccs += n.RemoteAccs
+		r.LocalAccs += n.LocalAccs
+		swap.Merge(n.SwapTime)
+		hitLat.Merge(n.FaultHitLat)
+	}
+	r.AvgSwapTime = swap.Value()
+	r.FaultHitLat = hitLat.Value()
+	var comb stats.Mean
+	for _, d := range m.Disks {
+		comb.Merge(d.Combining)
+	}
+	r.Combining = comb.Value()
+	if r.Faults > 0 {
+		r.RingHitRate = float64(r.RingHits) / float64(r.Faults)
+	}
+	r.NetBytes = m.Mesh.Bytes
+	r.NetMessages = m.Mesh.Messages
+	r.MaxLinkUtil = m.Mesh.MaxLinkUtilization()
+	if m.Ring != nil {
+		r.RingPeakUsed = m.Ring.PeakUsed
+	}
+	return r
+}

@@ -1,0 +1,231 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/param"
+)
+
+// stormProg drives random reads/writes over an oversubscribed footprint —
+// the adversarial pattern for every queue in the system.
+type stormProg struct {
+	pages int64
+	ops   int
+}
+
+func (s *stormProg) Name() string     { return "storm" }
+func (s *stormProg) DataPages() int64 { return s.pages }
+func (s *stormProg) Run(ctx *Ctx, proc int) {
+	rng := rand.New(rand.NewSource(int64(proc)*31 + 7))
+	for i := 0; i < s.ops; i++ {
+		pg := PageID(rng.Int63n(s.pages))
+		if rng.Intn(3) == 0 {
+			ctx.Write(pg, rng.Intn(4), 8)
+		} else {
+			ctx.Read(pg, rng.Intn(4), 8)
+		}
+	}
+	ctx.Barrier()
+}
+
+// runStress executes the storm on a configuration and validates the
+// machine invariants afterwards.
+func runStress(t *testing.T, cfg param.Config, kind Kind, mode disk.PrefetchMode) {
+	t.Helper()
+	m, err := New(cfg, kind, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &stormProg{pages: int64(cfg.Nodes*cfg.FramesPerNode()) * 2, ops: 150}
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressPaperConfiguration(t *testing.T) {
+	cfg := param.Default()
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	for _, kind := range []Kind{Standard, NWCache} {
+		for _, mode := range []disk.PrefetchMode{disk.Naive, disk.Optimal, disk.Streamed} {
+			runStress(t, cfg, kind, mode)
+		}
+	}
+}
+
+func TestStressSingleIONode(t *testing.T) {
+	cfg := param.Default()
+	cfg.IONodes = 1
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, Standard, disk.Naive)
+	runStress(t, cfg, NWCache, disk.Naive)
+}
+
+func TestStressLargerMesh(t *testing.T) {
+	cfg := param.Default()
+	cfg.Nodes = 16
+	cfg.MeshW = 4
+	cfg.MeshH = 4
+	cfg.IONodes = 4
+	cfg.RingChannels = 16
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, Standard, disk.Optimal)
+	runStress(t, cfg, NWCache, disk.Optimal)
+}
+
+func TestStressTinyRingChannel(t *testing.T) {
+	// One-page channels maximize channel-full stalls and ACK churn.
+	cfg := param.Default()
+	cfg.RingChanBytes = cfg.PageSize
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, NWCache, disk.Optimal)
+}
+
+func TestStressMultiChannelRing(t *testing.T) {
+	cfg := param.Default()
+	cfg.RingChannels = 32 // 4 channels per node
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, NWCache, disk.Optimal)
+}
+
+func TestStressDCD(t *testing.T) {
+	cfg := param.Default()
+	cfg.DCD = true
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, Standard, disk.Naive)
+	runStress(t, cfg, Standard, disk.Optimal)
+}
+
+func TestStressReadPriorityArm(t *testing.T) {
+	cfg := param.Default()
+	cfg.DiskReadPriority = true
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, Standard, disk.Naive)
+	runStress(t, cfg, NWCache, disk.Naive)
+}
+
+func TestStressMinimalFrames(t *testing.T) {
+	// 3 frames per node with a floor of 1: the tightest legal memory.
+	cfg := param.Default()
+	cfg.MemPerNode = 3 * cfg.PageSize
+	cfg.MinFreeFrames = 1
+	cfg.SwapQueueDepth = 1
+	for _, kind := range []Kind{Standard, NWCache} {
+		m, err := New(cfg, kind, disk.Optimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := &stormProg{pages: 64, ops: 80}
+		if _, err := m.Run(prog); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := m.CheckInvariants(true); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestMultiChannelImprovesThroughput(t *testing.T) {
+	run := func(channels int) int64 {
+		cfg := smallCfg()
+		cfg.RingChannels = channels
+		prog := &testProg{name: "burst", pages: 96, fn: func(ctx *Ctx, proc int) {
+			for pg := PageID(proc * 96); pg < PageID(proc*96+96); pg++ {
+				ctx.Write(pg, 0, 16)
+			}
+		}}
+		res := runProg(t, cfg, NWCache, disk.Optimal, prog)
+		return res.ExecTime
+	}
+	base := run(2) // one channel per node
+	quad := run(8) // four channels per node
+	if quad >= base {
+		t.Fatalf("4x channels did not help: %d vs %d", quad, base)
+	}
+}
+
+func TestShootdownInterruptsAllProcessors(t *testing.T) {
+	cfg := smallCfg()
+	m, err := New(cfg, Standard, disk.Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 dirties enough pages to force evictions; node 1 only computes
+	// but must still accumulate interrupt (TLB) time from shootdowns.
+	prog := &testProg{name: "shoot", pages: 64, fn: func(ctx *Ctx, proc int) {
+		if proc == 0 {
+			for pg := PageID(0); pg < 40; pg++ {
+				ctx.Write(pg, 0, 8)
+			}
+		} else {
+			for i := 0; i < 200; i++ {
+				ctx.Compute(5000)
+				ctx.Read(63, 0, 1) // op boundary where interrupts are paid
+			}
+		}
+		ctx.Barrier()
+	}}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNode[1].T[3] == 0 { // stats.TLB
+		t.Fatal("node 1 never charged for shootdown interrupts")
+	}
+}
+
+func TestStressPathologicalDiskParameters(t *testing.T) {
+	// Extreme mechanical latencies must slow things down, never wedge the
+	// protocols.
+	cfg := param.Default()
+	cfg.MinSeek = 50 * param.PcyclesPerMsec
+	cfg.MaxSeek = 200 * param.PcyclesPerMsec
+	cfg.RotLatency = 50 * param.PcyclesPerMsec
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	for _, kind := range []Kind{Standard, NWCache} {
+		m, err := New(cfg, kind, disk.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := &stormProg{pages: 64, ops: 40}
+		if _, err := m.Run(prog); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := m.CheckInvariants(true); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestStressZeroLatencyRing(t *testing.T) {
+	// Degenerate optics: instantaneous circulation must not divide by
+	// zero or break pass timing.
+	cfg := param.Default()
+	cfg.RingRoundTrip = 8 // one pcycle per node segment
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, NWCache, disk.Optimal)
+}
+
+func TestStressTinyDiskCache(t *testing.T) {
+	// A single-slot controller cache: combining impossible, NACKs
+	// constant; everything must still drain.
+	cfg := param.Default()
+	cfg.DiskCacheBytes = cfg.PageSize
+	cfg.MemPerNode = 8 * cfg.PageSize
+	cfg.MinFreeFrames = 2
+	runStress(t, cfg, Standard, disk.Naive)
+	runStress(t, cfg, NWCache, disk.Naive)
+}

@@ -1,0 +1,185 @@
+package machine
+
+import (
+	"fmt"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/optical"
+	"nwcache/internal/sim"
+	"nwcache/internal/trace"
+	"nwcache/internal/vm"
+)
+
+// replaceLoop is one node's page-replacement daemon: whenever the free
+// frame count sinks to the OS floor, it picks LRU victims and either frees
+// them (clean) or starts swap-outs (dirty), with a bounded number of
+// swap-outs outstanding.
+func (m *Machine) replaceLoop(p *sim.Proc, n *Node) {
+	for {
+		if !n.Pool.BelowFloor() {
+			n.Pool.Pressure.Wait(p)
+			continue
+		}
+		page, ok := n.Pool.VictimLRU()
+		if !ok {
+			// Every frame is reserved or detached; wait for change.
+			n.Pool.FrameFreed.Wait(p)
+			continue
+		}
+		en := m.Table.Get(page)
+		lockT0 := p.Now()
+		en.Lock.Lock(p)
+		_ = lockT0
+		if en.State != vm.Resident || en.Owner != n.ID || !n.Pool.Contains(page) {
+			en.Lock.Unlock() // raced with a concurrent transition; retry
+			continue
+		}
+		// Access rights are being downgraded: machine-wide TLB shootdown.
+		m.shootdown(n, page)
+		if !en.Dirty {
+			n.Pool.Remove(page)
+			en.State = vm.Unmapped
+			en.Owner = -1
+			en.Arrived.Broadcast()
+			en.Lock.Unlock()
+			n.CleanEvicts++
+			m.emit(trace.CleanEvict, n.ID, page, 0)
+			m.invalidateCaches(page)
+			continue
+		}
+		// Dirty: detach the frame (data still in it until taken) and mark
+		// the page in transit so faulters wait out the swap.
+		n.Pool.Unmap(page)
+		en.State = vm.Transit
+		en.TransitBy = -1
+		en.LastSwapper = n.ID
+		en.Owner = -1
+		en.Lock.Unlock()
+		m.invalidateCaches(page)
+		n.SwapOuts++
+		m.emit(trace.SwapStart, n.ID, page, 0)
+		start := p.Now()
+		n.swapSem.Acquire(p) // bound outstanding swap-outs
+		if m.Kind == NWCache {
+			m.E.Spawn(fmt.Sprintf("swapring%d", n.ID), func(sp *sim.Proc) {
+				m.swapToRing(sp, n, en, page, start)
+			})
+		} else {
+			m.E.Spawn(fmt.Sprintf("swapdisk%d", n.ID), func(sp *sim.Proc) {
+				m.swapToDisk(sp, n, en, page, start)
+			})
+		}
+	}
+}
+
+// shootdown models the paper's TLB-shootdown: the initiating processor
+// runs the downgrade (ShootLat) and every other processor takes an
+// interrupt (InterruptLat) and deletes its translation. Costs are charged
+// to each CPU at its next operation.
+func (m *Machine) shootdown(initiator *Node, page PageID) {
+	initiator.TLB.Invalidate(page)
+	initiator.pendingIntr += m.Cfg.TLBShootLat
+	for _, other := range m.Nodes {
+		if other == initiator {
+			continue
+		}
+		other.TLB.Invalidate(page)
+		other.pendingIntr += m.Cfg.InterruptLat
+	}
+}
+
+// invalidateCaches drops every node's cached blocks and the directory
+// state for a page that left memory (cached data must not outlive its
+// page frame; the TLB shootdown's interrupts carry the cost).
+func (m *Machine) invalidateCaches(page PageID) {
+	for _, n := range m.Nodes {
+		n.CC.DropPage(page)
+	}
+	m.Dir.DropPage(page)
+}
+
+// swapToDisk runs the standard machine's swap-out protocol: stream the
+// page over the mesh to the disk controller; on NACK wait for the OK and
+// resend. The frame is only reusable when the final ACK arrives.
+func (m *Machine) swapToDisk(p *sim.Proc, n *Node, en *vm.Entry, page PageID, start sim.Time) {
+	defer n.swapSem.Release()
+	d, dn := m.DiskFor(page)
+	block := m.Layout.BlockFor(page)
+	for {
+		// Page transfer: memory bus -> mesh -> I/O bus at the disk node.
+		stages := append([]sim.Stage{
+			{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
+		}, m.Mesh.PathStages(n.ID, dn, m.Cfg.PageSize)...)
+		stages = append(stages, sim.Stage{Res: m.Nodes[dn].IOBus, Occupy: m.Cfg.PageIOBusTime()})
+		_, arrive := sim.Pipeline(p.Now(), stages)
+		p.SleepUntil(arrive)
+		if d.Write(p, n.ID, page, block) == disk.ACK {
+			break
+		}
+		// NACKed: the controller recorded us; wait for its OK message.
+		m.emit(trace.DiskNACK, n.ID, page, int64(dn))
+		c := sim.NewCond(m.E)
+		n.okCond[page] = c
+		c.Wait(p)
+		delete(n.okCond, page)
+		m.emit(trace.DiskOK, n.ID, page, int64(dn))
+	}
+	// ACK message back across the mesh; the frame is reusable on receipt.
+	ackArrive := m.Mesh.Transit(p.Now(), dn, n.ID, m.Cfg.CtrlMsgLen)
+	p.SleepUntil(ackArrive)
+	n.Pool.ReleaseFrame()
+	dur := p.Now() - start
+	n.SwapTime.Add(float64(dur))
+	n.SwapHist.Add(float64(dur))
+	m.emit(trace.SwapDone, n.ID, page, dur)
+	en.Lock.Lock(p)
+	en.State = vm.Unmapped
+	en.Owner = -1
+	en.Dirty = false
+	en.Arrived.Broadcast()
+	en.Lock.Unlock()
+}
+
+// swapToRing runs the NWCache swap-out: wait for room on this node's cache
+// channel, stream the page onto the fiber through the local buses, and
+// reuse the frame immediately. A notice message tells the responsible I/O
+// node's NWCache interface to eventually drain the page to disk.
+func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, start sim.Time) {
+	defer n.swapSem.Release()
+	// Transmitters are serialized per node (ringTx covers all of the
+	// node's channels; with the OTDM extension a node owns several, and
+	// Insert picks the first with room).
+	n.ringTx.Lock(p)
+	for !m.Ring.HasRoomFor(n.ID) {
+		n.chanRoom.Wait(p)
+	}
+	stages := []sim.Stage{
+		{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
+		{Res: n.IOBus, Occupy: m.Cfg.PageIOBusTime()},
+	}
+	_, arrive := sim.Pipeline(p.Now(), stages)
+	p.SleepUntil(arrive)
+	p.Sleep(m.Cfg.PageRingTime()) // modulation onto the writable channel
+	entry := m.Ring.Insert(n.ID, page)
+	n.ringTx.Unlock()
+	m.emit(trace.RingInsert, n.ID, page, 0)
+	// The frame is reusable right away — the page now lives on the ring.
+	n.Pool.ReleaseFrame()
+	dur := p.Now() - start
+	n.SwapTime.Add(float64(dur))
+	n.SwapHist.Add(float64(dur))
+	m.emit(trace.SwapDone, n.ID, page, dur)
+	en.Lock.Lock(p)
+	en.State = vm.OnRing
+	en.RingEntry = entry
+	en.Owner = -1
+	en.LastSwapper = n.ID
+	en.Dirty = true // the disk has not seen this data yet
+	en.Arrived.Broadcast()
+	en.Lock.Unlock()
+	// Notice to the I/O node responsible for the page.
+	_, dn := m.DiskFor(page)
+	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
+	iface := m.Ifaces[dn]
+	m.E.At(noticeArrive, func() { iface.Notify(&optical.Notice{Entry: entry}) })
+}

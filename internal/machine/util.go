@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"fmt"
+
+	"nwcache/internal/stats"
+)
+
+// UtilizationTable reports, after a run, the fraction of simulated time
+// each contended resource was busy: per-node memory and I/O buses, disk
+// mechanisms, and the mesh's busiest link. The paper's contention
+// arguments (§5, "Contention") are about exactly these numbers.
+func (m *Machine) UtilizationTable() *stats.Table {
+	t := &stats.Table{
+		Title:   "Resource utilization (fraction of simulated time busy)",
+		Headers: []string{"Resource", "Utilization"},
+	}
+	// Denominator: the time the whole simulation quiesced (in-flight
+	// write-backs and drains continue past the last CPU's completion).
+	exec := m.E.Now()
+	frac := func(busy int64) string {
+		if exec == 0 {
+			return "0.000"
+		}
+		return stats.FmtF(float64(busy)/float64(exec), 3)
+	}
+	for _, n := range m.Nodes {
+		t.AddRow(fmt.Sprintf("membus%d", n.ID), frac(n.MemBus.Busy))
+	}
+	for _, n := range m.Nodes {
+		if n.IOBus.Requests > 0 {
+			t.AddRow(fmt.Sprintf("iobus%d", n.ID), frac(n.IOBus.Busy))
+		}
+	}
+	for _, ioNode := range m.Layout.IONodes() {
+		t.AddRow(fmt.Sprintf("disk@%d arm", ioNode), frac(m.Disks[ioNode].ArmBusy()))
+	}
+	t.AddRow("mesh busiest link", stats.FmtF(m.Mesh.MaxLinkUtilization(), 3))
+	if m.Ring != nil {
+		cap := m.Cfg.RingChannels * m.Cfg.RingSlotsPerChannel()
+		t.AddRow("ring peak occupancy",
+			fmt.Sprintf("%d/%d pages", m.Ring.PeakUsed, cap))
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package machine
+
+// The coalescing write buffer of the paper's Figure 1 node diagram. Under
+// Release Consistency a write miss need not stall the processor: it is
+// queued in a small per-node buffer, coalesced with other pending writes
+// to the same block, and drained in the background. The processor stalls
+// only when the buffer is full, and release operations (barriers, lock
+// releases) fence: they wait for the buffer to drain.
+//
+// The buffer covers coherence misses on *resident* pages only; a write to
+// a non-resident page is a page fault and traps synchronously as usual.
+// Enabled by Config.WriteBufferDepth > 0.
+
+import (
+	"fmt"
+
+	"nwcache/internal/coherence"
+	"nwcache/internal/sim"
+	"nwcache/internal/vm"
+)
+
+// wbEntry is one pending write.
+type wbEntry struct {
+	page PageID
+	sub  int
+}
+
+// writeBuffer is one node's coalescing write buffer.
+type writeBuffer struct {
+	depth   int
+	q       []wbEntry
+	pending map[int64]bool // coalescing set: page*SubPerPage+sub
+	inFly   bool           // an entry is being drained right now
+	kick    *sim.Cond      // work available
+	room    *sim.Cond      // slot freed
+	empty   *sim.Cond      // fully drained
+
+	Coalesced uint64
+	Drained   uint64
+	FullWaits uint64
+}
+
+// wbKey packs a block id.
+func wbKey(page PageID, sub int) int64 {
+	return int64(page)*coherence.SubPerPage + int64(sub)
+}
+
+// newWriteBuffer builds the buffer and starts its drain daemon.
+func newWriteBuffer(m *Machine, n *Node, depth int) *writeBuffer {
+	wb := &writeBuffer{
+		depth:   depth,
+		pending: make(map[int64]bool),
+		kick:    sim.NewCond(m.E),
+		room:    sim.NewCond(m.E),
+		empty:   sim.NewCond(m.E),
+	}
+	m.E.SpawnDaemon(fmt.Sprintf("wbuf%d", n.ID), func(p *sim.Proc) {
+		wb.drainLoop(p, m, n)
+	})
+	return wb
+}
+
+// holds reports whether a write to the block is pending (read-after-write
+// forwarding: the processor sees its own buffered writes).
+func (wb *writeBuffer) holds(page PageID, sub int) bool {
+	return wb.pending[wbKey(page, sub)]
+}
+
+// enqueue adds a write, coalescing with pending writes to the same block
+// (reported by the return value) and stalling p while the buffer is full.
+func (wb *writeBuffer) enqueue(p *sim.Proc, page PageID, sub int) (coalesced bool) {
+	k := wbKey(page, sub)
+	if wb.pending[k] {
+		wb.Coalesced++
+		return true
+	}
+	for wb.occupancy() >= wb.depth {
+		wb.FullWaits++
+		wb.room.Wait(p)
+	}
+	wb.pending[k] = true
+	wb.q = append(wb.q, wbEntry{page: page, sub: sub})
+	wb.kick.Signal()
+	return false
+}
+
+// occupancy counts queued plus in-flight writes (an entry being drained
+// still holds its buffer slot).
+func (wb *writeBuffer) occupancy() int {
+	n := len(wb.q)
+	if wb.inFly {
+		n++
+	}
+	return n
+}
+
+// fence waits until every buffered write has retired (a release operation
+// under Release Consistency).
+func (wb *writeBuffer) fence(p *sim.Proc) {
+	for len(wb.q) > 0 || wb.inFly {
+		wb.empty.Wait(p)
+	}
+}
+
+// drainLoop retires buffered writes through the coherence protocol.
+func (wb *writeBuffer) drainLoop(p *sim.Proc, m *Machine, n *Node) {
+	for {
+		if len(wb.q) == 0 {
+			wb.kick.Wait(p)
+			continue
+		}
+		ent := wb.q[0]
+		wb.q = wb.q[1:]
+		wb.inFly = true
+		// The page may have been swapped out since the write was
+		// buffered; its frame-level dirtiness was recorded at issue time,
+		// so the entry simply retires.
+		if en, ok := m.Table.Lookup(ent.page); ok && en.State == vm.Resident {
+			m.ccAccess(p, n, en.Owner, ent.page, ent.sub, true)
+		}
+		delete(wb.pending, wbKey(ent.page, ent.sub))
+		wb.Drained++
+		wb.inFly = false
+		wb.room.Signal()
+		if len(wb.q) == 0 {
+			wb.empty.Broadcast()
+		}
+	}
+}

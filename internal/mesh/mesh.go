@@ -1,0 +1,195 @@
+// Package mesh models the multiprocessor's wormhole-routed 2D mesh
+// interconnection network with dimension-order (XY) routing.
+//
+// Each unidirectional link and each node's injection/ejection port is a
+// FCFS sim.Resource; a message reserves the ports and every link on its
+// path with cut-through pipelining (sim.Pipeline), so uncontended latency
+// is hops·hopLatency + transfer time while every link is still charged the
+// full occupancy for contention purposes. This mirrors the paper's
+// "network contention fully modeled" claim at the granularity relevant to
+// page traffic.
+package mesh
+
+import (
+	"fmt"
+
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+)
+
+// Dir is a unidirectional link direction.
+type Dir int
+
+// Link directions out of a node.
+const (
+	East Dir = iota
+	West
+	North
+	South
+	numDirs
+)
+
+// Mesh is a W x H wormhole mesh of nodes 0..W*H-1, node n at
+// (n % W, n / W).
+type Mesh struct {
+	e      *sim.Engine
+	w, h   int
+	hopLat int64
+	bwMBs  float64
+
+	links  [][]*sim.Resource // [node][dir], nil at edges
+	inject []*sim.Resource   // per-node injection port (NI out)
+	eject  []*sim.Resource   // per-node ejection port (NI in)
+
+	// Messages counts delivered messages; Bytes counts payload bytes.
+	Messages uint64
+	Bytes    int64
+}
+
+// New builds the mesh from the configuration.
+func New(e *sim.Engine, cfg param.Config) *Mesh {
+	m := &Mesh{
+		e:      e,
+		w:      cfg.MeshW,
+		h:      cfg.MeshH,
+		hopLat: cfg.HopLatency,
+		bwMBs:  cfg.NetMBs,
+	}
+	n := m.w * m.h
+	m.links = make([][]*sim.Resource, n)
+	m.inject = make([]*sim.Resource, n)
+	m.eject = make([]*sim.Resource, n)
+	for i := 0; i < n; i++ {
+		m.links[i] = make([]*sim.Resource, numDirs)
+		x, y := i%m.w, i/m.w
+		if x+1 < m.w {
+			m.links[i][East] = sim.NewResource(e, fmt.Sprintf("link%d.E", i))
+		}
+		if x > 0 {
+			m.links[i][West] = sim.NewResource(e, fmt.Sprintf("link%d.W", i))
+		}
+		if y+1 < m.h {
+			m.links[i][North] = sim.NewResource(e, fmt.Sprintf("link%d.N", i))
+		}
+		if y > 0 {
+			m.links[i][South] = sim.NewResource(e, fmt.Sprintf("link%d.S", i))
+		}
+		m.inject[i] = sim.NewResource(e, fmt.Sprintf("ni%d.out", i))
+		m.eject[i] = sim.NewResource(e, fmt.Sprintf("ni%d.in", i))
+	}
+	return m
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+// Route returns the XY route from src to dst as a sequence of (node, dir)
+// hops. An empty route means src == dst.
+func (m *Mesh) Route(src, dst int) []int {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: route %d->%d out of range", src, dst))
+	}
+	var hops []int
+	cur := src
+	cx, cy := cur%m.w, cur/m.w
+	dx, dy := dst%m.w, dst/m.w
+	for cx != dx {
+		if cx < dx {
+			hops = append(hops, cur*int(numDirs)+int(East))
+			cx++
+		} else {
+			hops = append(hops, cur*int(numDirs)+int(West))
+			cx--
+		}
+		cur = cy*m.w + cx
+	}
+	for cy != dy {
+		if cy < dy {
+			hops = append(hops, cur*int(numDirs)+int(North))
+			cy++
+		} else {
+			hops = append(hops, cur*int(numDirs)+int(South))
+			cy--
+		}
+		cur = cy*m.w + cx
+	}
+	return hops
+}
+
+// Hops returns the XY hop count between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := src%m.w, src/m.w
+	dx, dy := dst%m.w, dst/m.w
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// PathStages returns the pipeline stages a message of `bytes` crosses from
+// src to dst: injection port, each link on the XY route, ejection port.
+// Callers may prepend/append further stages (e.g. a memory bus at the
+// source and an I/O bus at the destination) before running sim.Pipeline.
+func (m *Mesh) PathStages(src, dst, bytes int) []sim.Stage {
+	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
+	stages := make([]sim.Stage, 0, m.Hops(src, dst)+2)
+	stages = append(stages, sim.Stage{Res: m.inject[src], Occupy: occupy, Forward: m.hopLat})
+	for _, h := range m.Route(src, dst) {
+		node, dir := h/int(numDirs), Dir(h%int(numDirs))
+		res := m.links[node][dir]
+		if res == nil {
+			panic(fmt.Sprintf("mesh: route used missing link node %d dir %d", node, dir))
+		}
+		stages = append(stages, sim.Stage{Res: res, Occupy: occupy, Forward: m.hopLat})
+	}
+	stages = append(stages, sim.Stage{Res: m.eject[dst], Occupy: occupy, Forward: m.hopLat})
+	return stages
+}
+
+// Transit reserves the path for a message of `bytes` from src to dst
+// beginning no earlier than `earliest`, and returns the simulated arrival
+// time of the full payload at dst. It does not block any process; callers
+// sleep or schedule follow-up events at the returned time.
+func (m *Mesh) Transit(earliest sim.Time, src, dst, bytes int) (arrive sim.Time) {
+	_, arrive = sim.Pipeline(earliest, m.PathStages(src, dst, bytes))
+	m.Messages++
+	m.Bytes += int64(bytes)
+	return arrive
+}
+
+// Send transfers a message and delivers it into q at arrival time. It is
+// the ordinary fire-and-forget messaging primitive between nodes.
+func Send[T any](m *Mesh, q *sim.Queue[T], src, dst, bytes int, msg T) {
+	arrive := m.Transit(m.e.Now(), src, dst, bytes)
+	m.e.At(arrive, func() { q.Push(msg) })
+}
+
+// LinkBusy returns the aggregate busy time across all links (for
+// contention reporting).
+func (m *Mesh) LinkBusy() int64 {
+	var total int64
+	for _, dirs := range m.links {
+		for _, r := range dirs {
+			if r != nil {
+				total += r.Busy
+			}
+		}
+	}
+	return total
+}
+
+// MaxLinkUtilization returns the highest per-link utilization.
+func (m *Mesh) MaxLinkUtilization() float64 {
+	var max float64
+	for _, dirs := range m.links {
+		for _, r := range dirs {
+			if r != nil && r.Utilization() > max {
+				max = r.Utilization()
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,178 @@
+package optical
+
+import (
+	"nwcache/internal/sim"
+)
+
+// Notice is the control message a swapping node sends to the NWCache
+// interface of the I/O node responsible for a page: "page P from node N is
+// on channel N, write it to your disk eventually".
+type Notice struct {
+	Entry *Entry
+}
+
+// Iface is the NWCache interface of one I/O-enabled node: it keeps one
+// FIFO queue per cache channel and, whenever the attached disk controller
+// has room, snoops the most heavily loaded channel, copying pages in their
+// original swap-out order until that channel's swap-outs are exhausted —
+// the two properties (§3.2) that increase write locality in the disk
+// cache.
+type Iface struct {
+	e    *sim.Engine
+	ring *Ring
+	node int // the I/O node this interface is plugged into
+
+	fifos [][]*Notice // per channel, FIFO
+	kick  *sim.Cond
+
+	// DrainPolicy selects which channel to drain next; default MostLoaded.
+	Policy DrainPolicy
+
+	// Injected by the machine layer.
+	DiskHasRoom func() bool
+	// DiskInstall copies a drained page into the disk controller cache in
+	// p's context (paying controller overhead and media scheduling);
+	// returns false if the controller rejected it after all (slot raced
+	// away), in which case the notice is retried.
+	DiskInstall func(p *sim.Proc, page PageID) bool
+	// SendACK delivers the ACK for a page that left the ring to the node
+	// that swapped it out (entry.Channel).
+	SendACK func(en *Entry)
+
+	// Statistics.
+	Drained  uint64
+	Canceled uint64
+	Batches  uint64
+}
+
+// DrainPolicy selects the next channel to drain.
+type DrainPolicy int
+
+// Drain policies. MostLoaded is the paper's; RoundRobin exists for the
+// ablation study.
+const (
+	MostLoaded DrainPolicy = iota
+	RoundRobin
+)
+
+// rrNext is the round-robin cursor (only used by RoundRobin policy).
+var _ = RoundRobin
+
+// NewIface creates the interface and starts its drain daemon.
+func NewIface(e *sim.Engine, ring *Ring, node int) *Iface {
+	f := &Iface{
+		e:     e,
+		ring:  ring,
+		node:  node,
+		fifos: make([][]*Notice, ring.Channels()),
+		kick:  sim.NewCond(e),
+	}
+	e.SpawnDaemon("nwc-iface", f.drainLoop)
+	return f
+}
+
+// Notify enqueues a swap-out notice (invoked at message arrival time).
+func (f *Iface) Notify(n *Notice) {
+	f.fifos[n.Entry.Channel] = append(f.fifos[n.Entry.Channel], n)
+	f.kick.Signal()
+}
+
+// Kick re-evaluates drain opportunities (call when disk room appears).
+func (f *Iface) Kick() { f.kick.Signal() }
+
+// Cancel handles a victim-read notification: the page was re-mapped to
+// memory straight from the ring, so it must not be written to disk. The
+// notice is dropped from its FIFO and the ACK is sent to the swapper.
+// The caller (fault path) has already Claimed the entry.
+func (f *Iface) Cancel(en *Entry) {
+	q := f.fifos[en.Channel]
+	for i, n := range q {
+		if n.Entry == en {
+			f.fifos[en.Channel] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	f.Canceled++
+	f.SendACK(en)
+}
+
+// PendingOn returns the FIFO depth for a channel.
+func (f *Iface) PendingOn(ch int) int { return len(f.fifos[ch]) }
+
+// Pending returns the total queued notices.
+func (f *Iface) Pending() int {
+	t := 0
+	for _, q := range f.fifos {
+		t += len(q)
+	}
+	return t
+}
+
+// pickChannel returns the channel to drain next, or -1 if none pending.
+func (f *Iface) pickChannel(rr *int) int {
+	switch f.Policy {
+	case RoundRobin:
+		for k := 0; k < len(f.fifos); k++ {
+			ch := (*rr + k) % len(f.fifos)
+			if len(f.fifos[ch]) > 0 {
+				*rr = (ch + 1) % len(f.fifos)
+				return ch
+			}
+		}
+		return -1
+	default: // MostLoaded
+		best, bestLen := -1, 0
+		for ch, q := range f.fifos {
+			if len(q) > bestLen {
+				best, bestLen = ch, len(q)
+			}
+		}
+		return best
+	}
+}
+
+// drainLoop is the interface's main daemon: whenever the disk controller
+// has room, pick a channel and copy as many of its pages as possible, in
+// swap-out order, before considering another channel.
+func (f *Iface) drainLoop(p *sim.Proc) {
+	rr := 0
+	for {
+		if f.Pending() == 0 || !f.DiskHasRoom() {
+			f.kick.Wait(p)
+			continue
+		}
+		ch := f.pickChannel(&rr)
+		if ch < 0 {
+			continue
+		}
+		f.Batches++
+		// Exhaust this channel's swap-outs before switching (paper §3.2
+		// property b), as long as the disk keeps providing room.
+		for len(f.fifos[ch]) > 0 && f.DiskHasRoom() {
+			n := f.fifos[ch][0]
+			en := n.Entry
+			if en.State != OnRing {
+				// Claimed by a victim read (Cancel will drop it) or
+				// already gone; skip past it.
+				f.fifos[ch] = f.fifos[ch][1:]
+				continue
+			}
+			en.State = Draining
+			f.fifos[ch] = f.fifos[ch][1:]
+			// Wait for the page to circulate past this interface and
+			// stream it off the fiber. The disk is plugged directly into
+			// the NWCache interface, so the copy bypasses the node's
+			// memory and I/O buses entirely.
+			f.ring.Snoop(p, en, f.node)
+			if !f.DiskInstall(p, en.Page) {
+				// Lost the slot race; put the notice back and retry.
+				en.State = OnRing
+				f.fifos[ch] = append([]*Notice{n}, f.fifos[ch]...)
+				continue
+			}
+			f.Drained++
+			f.ring.Drains++
+			f.SendACK(en)
+		}
+	}
+}

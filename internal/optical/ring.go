@@ -1,0 +1,225 @@
+// Package optical implements the NWCache: the optical ring network/write
+// cache hybrid of §3.2.
+//
+// The ring carries one writable WDM "cache channel" per node. A page
+// swapped out by a node is inserted on that node's channel and circulates
+// — the fiber is a delay-line memory — until either (a) the NWCache
+// interface of the I/O node owning the page's disk copies it into the disk
+// controller cache, or (b) a node faults on the page and snoops it
+// straight off the channel (victim caching). In both cases an ACK flows
+// back to the swapping node, which then reuses the channel slot and clears
+// the page's Ring bit.
+//
+// Timing: a page inserted at t0 by node i passes node j at
+// t0 + offset(i,j) + k·roundTrip, where offset is the fractional ring
+// distance between the nodes. Snooping a page therefore waits for its next
+// pass, then pays the channel-rate extraction time.
+package optical
+
+import (
+	"fmt"
+
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+)
+
+// PageID is a virtual page number.
+type PageID = int64
+
+// EntryState tracks a page's life on the ring.
+type EntryState int
+
+// Entry states.
+const (
+	OnRing   EntryState = iota // circulating, available for drain or snoop
+	Claimed                    // a faulting node is snooping it off
+	Draining                   // the disk-side interface is copying it
+	Gone                       // removed; slot released
+)
+
+// Entry is one page stored on a cache channel.
+type Entry struct {
+	Page       PageID
+	Channel    int // owning channel == swapping node id
+	InsertedAt sim.Time
+	State      EntryState
+}
+
+// Channel is one WDM cache channel: the write path of a single node.
+type Channel struct {
+	owner   int
+	slots   int
+	entries []*Entry // insertion (FIFO) order, live entries only
+}
+
+// Used returns the number of occupied page slots.
+func (c *Channel) Used() int { return len(c.entries) }
+
+// HasRoom reports whether another page fits.
+func (c *Channel) HasRoom() bool { return len(c.entries) < c.slots }
+
+// Ring is the whole optical NWCache.
+type Ring struct {
+	e         *sim.Engine
+	nodes     int
+	roundTrip int64
+	pageXfer  int64
+	channels  []*Channel
+	owned     [][]int // channel indices per node
+
+	// Statistics.
+	Inserts    uint64
+	Drains     uint64
+	VictimHits uint64
+	PeakUsed   int
+}
+
+// New builds the ring from the configuration. With RingChannels == Nodes
+// (the paper's design) each node owns one writable cache channel; with
+// more channels (the OTDM extension of §4 — "multiplexing techniques such
+// as OTDM which will potentially support 5000 channels") the extra
+// channels are distributed round-robin, giving nodes several independent
+// transmitters and proportionally more optical storage.
+func New(e *sim.Engine, cfg param.Config) *Ring {
+	r := &Ring{
+		e:         e,
+		nodes:     cfg.Nodes,
+		roundTrip: cfg.RingRoundTrip,
+		pageXfer:  cfg.PageRingTime(),
+		owned:     make([][]int, cfg.Nodes),
+	}
+	for i := 0; i < cfg.RingChannels; i++ {
+		owner := i % cfg.Nodes
+		r.channels = append(r.channels, &Channel{owner: owner, slots: cfg.RingSlotsPerChannel()})
+		r.owned[owner] = append(r.owned[owner], i)
+	}
+	return r
+}
+
+// Channels returns the total channel count.
+func (r *Ring) Channels() int { return len(r.channels) }
+
+// ChannelOf returns node n's first writable channel (the paper's
+// one-channel-per-node view).
+func (r *Ring) ChannelOf(n int) *Channel { return r.channels[r.owned[n][0]] }
+
+// OwnedChannels returns the indices of the channels node n can write.
+func (r *Ring) OwnedChannels(n int) []int { return r.owned[n] }
+
+// Channel returns channel i.
+func (r *Ring) Channel(i int) *Channel { return r.channels[i] }
+
+// PageXfer returns the time to insert or extract one page at channel rate.
+func (r *Ring) PageXfer() int64 { return r.pageXfer }
+
+// RoundTrip returns the ring's circulation period.
+func (r *Ring) RoundTrip() int64 { return r.roundTrip }
+
+// HasRoomFor reports whether any of node's channels can take a page.
+func (r *Ring) HasRoomFor(node int) bool {
+	for _, i := range r.owned[node] {
+		if r.channels[i].HasRoom() {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places a page on the first of node's channels with room. The
+// caller must have checked HasRoomFor and already paid the local I/O bus
+// + insertion transfer time; Insert itself is instantaneous bookkeeping
+// at the completion instant.
+func (r *Ring) Insert(node int, page PageID) *Entry {
+	for _, i := range r.owned[node] {
+		if r.channels[i].HasRoom() {
+			return r.InsertOn(i, page)
+		}
+	}
+	panic(fmt.Sprintf("optical: node %d: all channels full", node))
+}
+
+// InsertOn places a page on a specific channel, which must have room and
+// be writable (owned); Insert is the usual entry point.
+func (r *Ring) InsertOn(ch int, page PageID) *Entry {
+	c := r.channels[ch]
+	if !c.HasRoom() {
+		panic(fmt.Sprintf("optical: channel %d overflow", ch))
+	}
+	en := &Entry{Page: page, Channel: ch, InsertedAt: r.e.Now(), State: OnRing}
+	c.entries = append(c.entries, en)
+	r.Inserts++
+	if u := r.TotalUsed(); u > r.PeakUsed {
+		r.PeakUsed = u
+	}
+	return en
+}
+
+// OwnerOf returns the node that writes channel ch.
+func (r *Ring) OwnerOf(ch int) int { return r.channels[ch].owner }
+
+// Release frees the entry's channel slot (called when the swapping node
+// receives the ACK). Idempotent.
+func (r *Ring) Release(en *Entry) {
+	if en.State == Gone {
+		return
+	}
+	en.State = Gone
+	ch := r.channels[en.Channel]
+	for i, x := range ch.entries {
+		if x == en {
+			ch.entries = append(ch.entries[:i], ch.entries[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("optical: releasing entry for page %d not on channel %d", en.Page, en.Channel))
+}
+
+// offset returns the ring propagation delay from node i to node j.
+func (r *Ring) offset(i, j int) int64 {
+	d := ((j-i)%r.nodes + r.nodes) % r.nodes
+	return int64(d) * r.roundTrip / int64(r.nodes)
+}
+
+// NextPass returns the earliest time >= now at which the entry's page
+// begins passing reader's interface.
+func (r *Ring) NextPass(en *Entry, reader int, now sim.Time) sim.Time {
+	first := en.InsertedAt + r.offset(r.OwnerOf(en.Channel), reader)
+	if first >= now {
+		return first
+	}
+	elapsed := now - first
+	k := (elapsed + r.roundTrip - 1) / r.roundTrip
+	return first + k*r.roundTrip
+}
+
+// Snoop sleeps p until the entry's page has fully streamed past reader's
+// interface (next pass + extraction time). The entry must be Claimed or
+// Draining by the caller beforehand so no one else grabs it.
+func (r *Ring) Snoop(p *sim.Proc, en *Entry, reader int) {
+	pass := r.NextPass(en, reader, p.Now())
+	p.SleepUntil(pass + r.pageXfer)
+}
+
+// TotalUsed returns the number of pages currently stored on the ring.
+func (r *Ring) TotalUsed() int {
+	n := 0
+	for _, ch := range r.channels {
+		n += ch.Used()
+	}
+	return n
+}
+
+// FindOnChannel returns the live entry for page on any of node's owned
+// channels, or nil. The paper's faulting node knows the swapping node from
+// the page's last virtual-to-physical translation and searches its
+// channel(s).
+func (r *Ring) FindOnChannel(node int, page PageID) *Entry {
+	for _, i := range r.owned[node] {
+		for _, en := range r.channels[i].entries {
+			if en.Page == page && en.State != Gone {
+				return en
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package param
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := Default()
+	c.Scale = 0.5
+	c.RingChanBytes = 128 * 1024
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, c)
+	}
+}
+
+func TestFromJSONPartialKeepsDefaults(t *testing.T) {
+	got, err := FromJSON(strings.NewReader(`{"Scale": 0.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 0.25 {
+		t.Fatalf("scale %f", got.Scale)
+	}
+	if got.Nodes != 8 || got.PageSize != 4096 {
+		t.Fatal("defaults lost")
+	}
+}
+
+func TestFromJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := FromJSON(strings.NewReader(`{"Typo": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFromJSONRejectsInvalidConfig(t *testing.T) {
+	if _, err := FromJSON(strings.NewReader(`{"MinFreeFrames": 0}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"Seed": 42}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Fatalf("seed %d", cfg.Seed)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains virtual time in processor cycles (pcycles, 5 ns in
+// the default NWCache configuration) and an event heap ordered by
+// (time, sequence number), so that simulations are fully reproducible:
+// events scheduled for the same instant fire in scheduling order.
+//
+// Two execution styles are supported and freely mixed:
+//
+//   - plain callbacks scheduled with At/After, and
+//   - cooperative processes (Proc) — goroutines that own the engine while
+//     they run and yield back whenever they Sleep or block on a
+//     synchronization primitive. Exactly one goroutine (the engine or a
+//     single process) runs at any instant, so no data shared through the
+//     engine needs locking and results are deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual simulation time in pcycles.
+type Time = int64
+
+// event is a scheduled callback.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	heapIdx  int
+	canceled bool
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.heapIdx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.heapIdx = -1
+	return ev
+}
+
+// Event is a handle to a scheduled callback, usable for cancellation.
+type Event struct{ ev *event }
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+
+	// process bookkeeping
+	parked  map[*Proc]struct{} // procs blocked on a primitive (no event pending)
+	live    int                // procs started and not yet finished
+	back    chan struct{}      // proc -> engine: "I have yielded or finished"
+	current *Proc              // proc currently holding control, nil in callbacks
+}
+
+// New returns an empty engine at time 0.
+func New() *Engine {
+	return &Engine{
+		parked: make(map[*Proc]struct{}),
+		back:   make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, as it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return &Event{ev}
+}
+
+// After schedules fn to run d pcycles from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.ev == nil || ev.ev.canceled || ev.ev.heapIdx < 0 {
+		return
+	}
+	ev.ev.canceled = true
+	heap.Remove(&e.heap, ev.ev.heapIdx)
+}
+
+// Pending reports the number of events waiting in the heap.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// DeadlockError reports processes left parked with no pending events: they
+// can never run again.
+type DeadlockError struct {
+	Now   Time
+	Procs []string // names of parked, non-daemon processes
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) parked forever: %v",
+		d.Now, len(d.Procs), d.Procs)
+}
+
+// Run executes events in order until the heap drains or Stop is called.
+// If the heap drains while non-daemon processes are parked on
+// synchronization primitives, Run kills all parked processes and returns a
+// *DeadlockError naming the non-daemon ones. Daemon processes parked at
+// drain time are considered normal and are killed silently.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: event heap returned event in the past")
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.stopped {
+		// Halted explicitly: leave remaining events and parked processes in
+		// place so the caller can resume with another Run.
+		return nil
+	}
+	var stuck []string
+	for p := range e.parked {
+		if !p.daemon {
+			stuck = append(stuck, p.name)
+		}
+	}
+	e.KillParked()
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return &DeadlockError{Now: e.now, Procs: stuck}
+	}
+	return nil
+}
+
+// KillParked terminates every parked process (daemons included) so that no
+// goroutines leak when a simulation is abandoned. Killing a process runs its
+// defers, which may unpark other processes (e.g. by releasing a semaphore);
+// those are resumed to quiescence before the next victim is killed, so
+// teardown is orderly and complete. Safe to call repeatedly.
+func (e *Engine) KillParked() {
+	for {
+		// Resume anything runnable (events scheduled by defers of already
+		// killed processes) until the heap is quiet again.
+		for len(e.heap) > 0 {
+			ev := heap.Pop(&e.heap).(*event)
+			if ev.canceled {
+				continue
+			}
+			if ev.t > e.now {
+				e.now = ev.t
+			}
+			ev.fn()
+		}
+		if len(e.parked) == 0 {
+			return
+		}
+		// Kill the oldest parked process for determinism.
+		var victim *Proc
+		for p := range e.parked {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		delete(e.parked, victim)
+		victim.killed = true
+		e.transfer(victim)
+	}
+}

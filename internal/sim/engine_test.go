@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.At(d, func() { got = append(got, d) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 50 {
+		t.Fatalf("final time %d, want 50", e.Now())
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15 {
+		t.Fatalf("After fired at %d, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelPreventsEvent(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("ran %d events, want 1", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	// Property: whatever order events are scheduled in, they fire in
+	// nondecreasing time order and ties fire in scheduling order.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		count := int(n%64) + 1
+		type fired struct {
+			t   Time
+			seq int
+		}
+		var log []fired
+		for i := 0; i < count; i++ {
+			i := i
+			at := Time(rng.Intn(20))
+			e.At(at, func() { log = append(log, fired{at, i}) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(log) != count {
+			return false
+		}
+		if !sort.SliceIsSorted(log, func(a, b int) bool {
+			if log[a].t != log[b].t {
+				return log[a].t < log[b].t
+			}
+			return log[a].seq < log[b].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := New()
+	var marks []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(100)
+		marks = append(marks, p.Now())
+		p.Sleep(0)
+		marks = append(marks, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 100, 100}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d diverged at %d: %v vs %v", i, j, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	e.Spawn("stuck", func(p *Proc) { c.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Procs) != 1 || de.Procs[0] != "stuck" {
+		t.Fatalf("deadlocked procs %v", de.Procs)
+	}
+}
+
+func TestDaemonParkedIsNotDeadlock(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			c.Wait(p)
+		}
+	})
+	e.Spawn("client", func(p *Proc) { p.Sleep(5) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon flagged as deadlock: %v", err)
+	}
+}
+
+func TestKilledProcRunsDefers(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	cleaned := false
+	e.SpawnDaemon("d", func(p *Proc) {
+		defer func() { cleaned = true }()
+		c.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Fatal("defer did not run on kill")
+	}
+}
+
+func TestKillUnparksDependents(t *testing.T) {
+	// A killed proc's defer releases a semaphore another proc waits on; the
+	// dependent must be resumed (and then finish) rather than leak.
+	e := New()
+	sem := NewSemaphore(e, 1)
+	c := NewCond(e)
+	finished := false
+	e.Spawn("holder", func(p *Proc) {
+		sem.Acquire(p)
+		defer sem.Release()
+		c.Wait(p) // parked forever
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		sem.Acquire(p)
+		finished = true
+		sem.Release()
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error for holder")
+	}
+	if !finished {
+		t.Fatal("dependent proc did not resume during teardown")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import "fmt"
+
+// procKilled is the sentinel panic value used to unwind a killed process.
+type procKilled struct{ name string }
+
+// Proc is a cooperative simulation process. A Proc runs on its own
+// goroutine but only while the engine has explicitly transferred control to
+// it; it must yield (by sleeping or blocking) to let simulation time
+// advance. All Proc methods must be called from the Proc's own goroutine.
+type Proc struct {
+	e      *Engine
+	id     uint64
+	name   string
+	daemon bool
+	cont   chan struct{} // engine -> proc: "you have control"
+	killed bool
+}
+
+// Spawn starts fn as a new process at the current simulation time. The
+// process body runs when the engine reaches the start event. When fn
+// returns, the process ends.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, false, fn)
+}
+
+// SpawnDaemon starts a process that is allowed to be parked forever when
+// the simulation ends (e.g. servers waiting for requests that will never
+// come). Daemons do not trigger DeadlockError.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, true, fn)
+}
+
+func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
+	e.seq++
+	p := &Proc{e: e, id: e.seq, name: name, daemon: daemon, cont: make(chan struct{})}
+	go func() {
+		<-p.cont // wait for the start event to hand over control
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					// Killed during engine teardown: just exit. Control is
+					// NOT returned to the engine here; KillParked resumes.
+					e.live--
+					e.back <- struct{}{}
+					return
+				}
+				panic(r) // real bug: crash loudly
+			}
+			e.live--
+			e.current = nil
+			e.back <- struct{}{} // normal completion: give control back
+		}()
+		fn(p)
+	}()
+	e.At(e.now, func() {
+		e.live++
+		e.transfer(p)
+	})
+	return p
+}
+
+// transfer hands control to p and blocks until p yields or finishes.
+// It must be called from the engine goroutine (inside an event callback).
+func (e *Engine) transfer(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.cont <- struct{}{}
+	<-e.back
+	e.current = prev
+}
+
+// yield returns control to the engine and blocks until the engine
+// transfers control back. If the process was killed while parked, yield
+// panics with procKilled to unwind the process body (running defers).
+func (p *Proc) yield() {
+	p.e.current = nil
+	p.e.back <- struct{}{}
+	<-p.cont
+	if p.killed {
+		panic(procKilled{p.name})
+	}
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep suspends the process for d pcycles. d must be >= 0.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: Sleep(%d) negative", p.name, d))
+	}
+	p.e.At(p.e.now+d, func() { p.e.transfer(p) })
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.e.now {
+		return
+	}
+	p.Sleep(t - p.e.now)
+}
+
+// park blocks the process with no wake-up event scheduled; some other actor
+// must call unpark. Used by the synchronization primitives.
+func (p *Proc) park() {
+	p.e.parked[p] = struct{}{}
+	p.yield()
+}
+
+// unpark schedules p to resume at the current time. Must only be called for
+// a parked process.
+func (e *Engine) unpark(p *Proc) {
+	if _, ok := e.parked[p]; !ok {
+		panic("sim: unpark of non-parked process " + p.name)
+	}
+	delete(e.parked, p)
+	e.At(e.now, func() { e.transfer(p) })
+}

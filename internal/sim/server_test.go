@@ -1,0 +1,153 @@
+package sim
+
+import "testing"
+
+func TestServerSerializes(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("u", func(p *Proc) {
+			s.Use(p, High, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends %v, want %v", ends, want)
+		}
+	}
+	if s.Busy != 300 {
+		t.Fatalf("busy %d", s.Busy)
+	}
+}
+
+func TestServerHighPriorityJumpsQueue(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		s.Use(p, High, 100)
+	})
+	e.Spawn("low", func(p *Proc) {
+		p.Sleep(10)
+		s.Use(p, Low, 10)
+		order = append(order, "low")
+	})
+	e.Spawn("high", func(p *Proc) {
+		p.Sleep(20) // arrives AFTER low, but must be served first
+		s.Use(p, High, 10)
+		order = append(order, "high")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "high" || order[1] != "low" {
+		t.Fatalf("service order %v, want high first", order)
+	}
+}
+
+func TestServerFIFOWithinClass(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	var order []int
+	e.Spawn("holder", func(p *Proc) { s.Use(p, High, 100) })
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(Time(i + 1))
+			s.Use(p, Low, 1)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestServerIdleAndTryAcquire(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	e.Spawn("a", func(p *Proc) {
+		if !s.Idle() {
+			t.Error("fresh server not idle")
+		}
+		if !s.TryAcquire(p, High) {
+			t.Error("TryAcquire failed on idle server")
+		}
+		if s.TryAcquire(p, High) {
+			t.Error("TryAcquire succeeded on busy server")
+		}
+		s.Release()
+		if !s.Idle() {
+			t.Error("server not idle after release")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerReleaseIdlePanics(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestServerWaitStats(t *testing.T) {
+	e := New()
+	s := NewServer(e, "arm")
+	e.Spawn("a", func(p *Proc) { s.Use(p, High, 50) })
+	e.Spawn("b", func(p *Proc) {
+		if w := s.Use(p, High, 10); w != 50 {
+			t.Errorf("waited %d, want 50", w)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waited != 50 {
+		t.Fatalf("Waited %d", s.Waited)
+	}
+	if s.Grants != 2 {
+		t.Fatalf("Grants %d", s.Grants)
+	}
+}
+
+func TestServerStarvationOfLowUnderHighLoad(t *testing.T) {
+	// Documented behavior: a continuous stream of high-priority work
+	// starves low-priority work until the stream ends.
+	e := New()
+	s := NewServer(e, "arm")
+	var lowDone Time
+	e.Spawn("low", func(p *Proc) {
+		p.Sleep(5)
+		s.Use(p, Low, 10)
+		lowDone = p.Now()
+	})
+	for i := 0; i < 5; i++ {
+		e.Spawn("high", func(p *Proc) {
+			s.Use(p, High, 100)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lowDone < 500 {
+		t.Fatalf("low served at %d, want after the high stream (>=500)", lowDone)
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+// Cond is a FIFO wait queue. Wait parks the calling process until another
+// actor calls Signal or Broadcast. Unlike sync.Cond there is no associated
+// mutex: simulation code is single-threaded by construction, so the check
+// of the guarded predicate and the call to Wait cannot race.
+type Cond struct {
+	e       *Engine
+	waiting []*Proc
+}
+
+// NewCond returns an empty condition queue.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait parks p until a Signal/Broadcast wakes it. Wakeups are FIFO.
+func (c *Cond) Wait(p *Proc) {
+	c.waiting = append(c.waiting, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any. Returns true if a
+// process was woken.
+func (c *Cond) Signal() bool {
+	for len(c.waiting) > 0 {
+		p := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		if _, still := c.e.parked[p]; still {
+			c.e.unpark(p)
+			return true
+		}
+		// Process was killed while on the queue; skip it.
+	}
+	return false
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	for c.Signal() {
+	}
+}
+
+// Waiting reports how many processes are queued.
+func (c *Cond) Waiting() int { return len(c.waiting) }
+
+// Semaphore is a counting semaphore with FIFO granting.
+type Semaphore struct {
+	n    int
+	cond *Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	return &Semaphore{n: n, cond: NewCond(e)}
+}
+
+// Acquire takes one permit, parking p until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.n == 0 {
+		s.cond.Wait(p)
+	}
+	s.n--
+}
+
+// TryAcquire takes a permit without blocking; reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	return true
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release() {
+	s.n++
+	s.cond.Signal()
+}
+
+// Available returns the current permit count.
+func (s *Semaphore) Available() int { return s.n }
+
+// Mutex is a binary semaphore with Lock/Unlock naming. It models, e.g.,
+// the mutual exclusion on global page-table entries.
+type Mutex struct{ s *Semaphore }
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(e *Engine) *Mutex { return &Mutex{s: NewSemaphore(e, 1)} }
+
+// Lock acquires the mutex, parking p until it is free.
+func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.s.Release() }
+
+// Barrier synchronizes a fixed group of n processes: each call to Arrive
+// parks until all n processes of the current generation have arrived.
+type Barrier struct {
+	n       int
+	arrived int
+	cond    *Cond
+}
+
+// NewBarrier returns a barrier for groups of n processes. n must be >= 1.
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size must be >= 1")
+	}
+	return &Barrier{n: n, cond: NewCond(e)}
+}
+
+// Arrive enters the barrier; the last arrival releases everyone.
+// It returns the time spent waiting at the barrier.
+func (b *Barrier) Arrive(p *Proc) Time {
+	start := p.Now()
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.cond.Broadcast()
+		return 0
+	}
+	b.cond.Wait(p)
+	return p.Now() - start
+}
+
+// Queue is an unbounded FIFO mailbox. Push never blocks and may be called
+// from event callbacks; Pop parks the caller until an item is available.
+type Queue[T any] struct {
+	items []T
+	cond  *Cond
+}
+
+// NewQueue returns an empty mailbox.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
+
+// Push appends an item and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the oldest item, parking p while empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondFIFOWakeOrder(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	var woke []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	e.At(10, func() { c.Signal() })
+	e.At(20, func() { c.Signal() })
+	e.At(30, func() { c.Signal() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if woke[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", woke, want)
+		}
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	n := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			n++
+		})
+	}
+	e.At(10, func() { c.Broadcast() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("woke %d, want 5", n)
+	}
+}
+
+func TestSignalWithNoWaitersReturnsFalse(t *testing.T) {
+	e := New()
+	c := NewCond(e)
+	if c.Signal() {
+		t.Fatal("Signal on empty cond returned true")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := New()
+	sem := NewSemaphore(e, 2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Spawn("u", func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(10)
+			inside--
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 2 {
+		t.Fatalf("max concurrency %d, want 2", maxInside)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := New()
+	sem := NewSemaphore(e, 1)
+	if !sem.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded with 0 permits")
+	}
+	sem.Release()
+	if sem.Available() != 1 {
+		t.Fatalf("available %d, want 1", sem.Available())
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	e := New()
+	m := NewMutex(e)
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		m.Lock(p)
+		order = append(order, "a-in")
+		p.Sleep(50)
+		order = append(order, "a-out")
+		m.Unlock()
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(1)
+		m.Lock(p)
+		order = append(order, "b-in")
+		m.Unlock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a-in", "a-out", "b-in"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBarrierReleasesTogetherAndIsReusable(t *testing.T) {
+	e := New()
+	const n = 4
+	b := NewBarrier(e, n)
+	var releases []Time
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for iter := 0; iter < 3; iter++ {
+				p.Sleep(Time(10 * (i + 1))) // stagger arrivals
+				b.Arrive(p)
+				releases = append(releases, p.Now())
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 3*n {
+		t.Fatalf("releases %d, want %d", len(releases), 3*n)
+	}
+	// Within each generation, everyone is released at the same instant
+	// (when the slowest arrives).
+	for g := 0; g < 3; g++ {
+		first := releases[g*n]
+		for i := 1; i < n; i++ {
+			if releases[g*n+i] != first {
+				t.Fatalf("generation %d releases %v not simultaneous", g, releases[g*n:g*n+n])
+			}
+		}
+	}
+}
+
+func TestBarrierWaitTimeReported(t *testing.T) {
+	e := New()
+	b := NewBarrier(e, 2)
+	var fastWait, slowWait Time = -1, -1
+	e.Spawn("fast", func(p *Proc) { fastWait = b.Arrive(p) })
+	e.Spawn("slow", func(p *Proc) {
+		p.Sleep(40)
+		slowWait = b.Arrive(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fastWait != 40 {
+		t.Fatalf("fast waited %d, want 40", fastWait)
+	}
+	if slowWait != 0 {
+		t.Fatalf("slow (last arrival) waited %d, want 0", slowWait)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	e.At(10, func() { q.Push(1); q.Push(2) })
+	e.At(20, func() { q.Push(3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestQueueTryPopAndPeek(t *testing.T) {
+	e := New()
+	q := NewQueue[string](e)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue succeeded")
+	}
+	q.Push("x")
+	q.Push("y")
+	if v, ok := q.Peek(); !ok || v != "x" {
+		t.Fatalf("Peek = %q,%v", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.TryPop(); !ok || v != "x" {
+		t.Fatalf("TryPop = %q,%v", v, ok)
+	}
+}
+
+func TestSemaphorePermitConservationProperty(t *testing.T) {
+	// Property: after any balanced sequence of acquire/release by k procs,
+	// all permits return to the semaphore.
+	f := func(permits uint8, procs uint8, rounds uint8) bool {
+		np := int(permits%4) + 1
+		k := int(procs%6) + 1
+		r := int(rounds%5) + 1
+		e := New()
+		sem := NewSemaphore(e, np)
+		for i := 0; i < k; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < r; j++ {
+					sem.Acquire(p)
+					p.Sleep(3)
+					sem.Release()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return sem.Available() == np
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

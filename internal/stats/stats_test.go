@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	m.Add(10)
+	m.Add(20)
+	m.Add(30)
+	if m.Value() != 20 {
+		t.Fatalf("mean %f, want 20", m.Value())
+	}
+}
+
+func TestMeanMerge(t *testing.T) {
+	var a, b Mean
+	a.Add(10)
+	b.Add(30)
+	b.Add(50)
+	a.Merge(b)
+	if a.Count != 3 || a.Value() != 30 {
+		t.Fatalf("merged mean %f count %d", a.Value(), a.Count)
+	}
+}
+
+func TestHistogramMeanMatchesSamples(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	if h.Mean() != 2.5 {
+		t.Fatalf("mean %f, want 2.5", h.Mean())
+	}
+	if h.MaxV != 4 {
+		t.Fatalf("max %f, want 4", h.MaxV)
+	}
+	if h.Total != 4 {
+		t.Fatalf("total %d", h.Total)
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	p50 := h.Percentile(0.5)
+	p99 := h.Percentile(0.99)
+	if p50 < 49 {
+		t.Fatalf("p50 %f below true median", p50)
+	}
+	if p99 < 98 {
+		t.Fatalf("p99 %f below true value", p99)
+	}
+	if p99 > 256 {
+		t.Fatalf("p99 %f unreasonably loose", p99)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.SumV != 0 || h.Total != 1 {
+		t.Fatalf("negative sample handling: sum %f total %d", h.SumV, h.Total)
+	}
+}
+
+func TestHistogramPercentileProperty(t *testing.T) {
+	// Property: the reported percentile never falls below the true
+	// quantile of inserted samples (bucket upper-edge guarantee).
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+			h.Add(vals[i])
+		}
+		for _, p := range []float64{0.5, 0.9, 1.0} {
+			idx := int(math.Ceil(p*float64(len(vals)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			sorted := append([]float64(nil), vals...)
+			for i := range sorted {
+				for j := i + 1; j < len(sorted); j++ {
+					if sorted[j] < sorted[i] {
+						sorted[i], sorted[j] = sorted[j], sorted[i]
+					}
+				}
+			}
+			if h.Percentile(p) < sorted[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(NoFree, 100)
+	b.Add(Fault, 300)
+	b.Add(Other, 600)
+	if b.Total() != 1000 {
+		t.Fatalf("total %d", b.Total())
+	}
+	f := b.Fractions()
+	if f[NoFree] != 0.1 || f[Fault] != 0.3 || f[Other] != 0.6 {
+		t.Fatalf("fractions %v", f)
+	}
+}
+
+func TestBreakdownNegativePanics(t *testing.T) {
+	var b Breakdown
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative charge")
+		}
+	}()
+	b.Add(TLB, -1)
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(TLB, 5)
+	b.Add(TLB, 7)
+	b.Add(Transit, 2)
+	a.Merge(b)
+	if a.T[TLB] != 12 || a.T[Transit] != 2 {
+		t.Fatalf("merged %v", a.T)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		NoFree: "NoFree", Transit: "Transit", Fault: "Fault",
+		TLB: "TLB", Other: "Other",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d -> %q, want %q", c, c.String(), s)
+		}
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Fatal("unknown category string")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Table X",
+		Headers: []string{"App", "Value"},
+	}
+	tb.AddRow("em3d", "1.23")
+	tb.AddRow("longername", "4")
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: 'Value' column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "Value")
+	rowIdx := strings.Index(lines[3], "1.23")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys %v", got)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if FmtF(1.2345, 2) != "1.23" {
+		t.Fatal(FmtF(1.2345, 2))
+	}
+	if FmtPct(0.42) != "42%" {
+		t.Fatal(FmtPct(0.42))
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"A", "B"}}
+	tb.AddRow("x,y", "2") // embedded comma must be quoted
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# T\n") {
+		t.Fatalf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, `"x,y",2`) {
+		t.Fatalf("embedded comma not quoted: %q", out)
+	}
+}
+
+func TestBarChartRendering(t *testing.T) {
+	c := &BarChart{
+		Title:    "Fig",
+		Width:    10,
+		Segments: []string{"A", "B"},
+	}
+	c.AddBar("x/std", 0.5, 0.5)
+	c.AddBar("x/nwc", 0.2, 0.1)
+	out := c.String()
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "#=A") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	full := lines[2]  // x/std row
+	short := lines[3] // x/nwc row
+	if strings.Count(full, "#") != 5 || strings.Count(full, "=") < 5 {
+		t.Fatalf("full bar glyph counts wrong: %q", full)
+	}
+	if !strings.Contains(full, "1.000") {
+		t.Fatalf("total missing: %q", full)
+	}
+	if strings.Count(short, "#") != 2 {
+		t.Fatalf("short bar: %q", short)
+	}
+}
+
+func TestBarChartNegativeClamped(t *testing.T) {
+	c := &BarChart{Segments: []string{"A"}}
+	c.AddBar("neg", -1)
+	if !strings.Contains(c.String(), "0.000") {
+		t.Fatal("negative value not clamped")
+	}
+}

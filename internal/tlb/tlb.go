@@ -1,0 +1,80 @@
+// Package tlb models per-processor translation lookaside buffers and the
+// machine-wide TLB-shootdown protocol of the paper's base system: every
+// time the access rights for a page are downgraded, all other processors
+// are interrupted and delete their entry for the page.
+package tlb
+
+import "container/list"
+
+// TLB is a fully-associative LRU translation buffer tracking virtual page
+// numbers. Costs (miss, shootdown, interrupt) are charged by the caller
+// using the configured latencies; the TLB itself only tracks presence.
+type TLB struct {
+	capacity int
+	lru      *list.List              // front = most recent
+	entries  map[int64]*list.Element // page -> node
+	Hits     uint64
+	Misses   uint64
+}
+
+// New returns an empty TLB holding up to capacity translations.
+func New(capacity int) *TLB {
+	if capacity < 1 {
+		panic("tlb: capacity must be >= 1")
+	}
+	return &TLB{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[int64]*list.Element),
+	}
+}
+
+// Lookup touches the translation for page, returning true on hit. On miss
+// the translation is inserted (modeling the hardware walk + fill), evicting
+// the least recently used entry if full.
+func (t *TLB) Lookup(page int64) bool {
+	if el, ok := t.entries[page]; ok {
+		t.lru.MoveToFront(el)
+		t.Hits++
+		return true
+	}
+	t.Misses++
+	t.insert(page)
+	return false
+}
+
+// Contains reports presence without touching LRU state or counters.
+func (t *TLB) Contains(page int64) bool {
+	_, ok := t.entries[page]
+	return ok
+}
+
+func (t *TLB) insert(page int64) {
+	if t.lru.Len() >= t.capacity {
+		back := t.lru.Back()
+		delete(t.entries, back.Value.(int64))
+		t.lru.Remove(back)
+	}
+	t.entries[page] = t.lru.PushFront(page)
+}
+
+// Invalidate removes the translation for page (shootdown victim side).
+// Returns true if an entry was present.
+func (t *TLB) Invalidate(page int64) bool {
+	el, ok := t.entries[page]
+	if !ok {
+		return false
+	}
+	t.lru.Remove(el)
+	delete(t.entries, page)
+	return true
+}
+
+// Len returns the number of valid entries.
+func (t *TLB) Len() int { return t.lru.Len() }
+
+// Flush removes every entry.
+func (t *TLB) Flush() {
+	t.lru.Init()
+	clear(t.entries)
+}

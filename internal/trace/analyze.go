@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nwcache/internal/stats"
+)
+
+// Summary is the post-hoc analysis of a trace.
+type Summary struct {
+	Counts [numKinds]uint64
+
+	FaultDiskLat stats.Histogram // pcycles
+	FaultRingLat stats.Histogram
+	SwapLat      stats.Histogram
+
+	// Ring occupancy over time (pages on the ring after each change).
+	RingPeak    int
+	RingAvg     float64 // time-weighted mean occupancy
+	RingSamples int
+	// RingTimeline is the time-weighted mean occupancy in each of
+	// timelineBuckets equal slices of the trace span.
+	RingTimeline []float64
+
+	// Per-node fault/swap activity.
+	NodeFaults map[int32]uint64
+	NodeSwaps  map[int32]uint64
+
+	// HotPages are the most frequently faulted pages.
+	HotPages []PageCount
+
+	Span int64 // trace duration (last T - first T)
+}
+
+// PageCount pairs a page with its fault count.
+type PageCount struct {
+	Page  int64
+	Count uint64
+}
+
+// sparkGlyphs are the fill levels for sparklines, low to high.
+var sparkGlyphs = []byte(" .:-=+*#%@")
+
+// sparkline renders values scaled to max as one glyph per bucket.
+func sparkline(values []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]byte, len(values))
+	for i, v := range values {
+		lvl := int(v / max * float64(len(sparkGlyphs)-1))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(sparkGlyphs) {
+			lvl = len(sparkGlyphs) - 1
+		}
+		out[i] = sparkGlyphs[lvl]
+	}
+	return string(out)
+}
+
+// timelineBuckets is the resolution of the occupancy timeline.
+const timelineBuckets = 60
+
+// Analyze computes a Summary from events (which must be in time order, as
+// emitted by the simulator).
+func Analyze(events []Event) *Summary {
+	s := &Summary{
+		NodeFaults: make(map[int32]uint64),
+		NodeSwaps:  make(map[int32]uint64),
+	}
+	if len(events) == 0 {
+		return s
+	}
+	start := events[0].T
+	s.Span = events[len(events)-1].T - start
+	occupancy := 0
+	lastChange := events[0].T
+	var weighted float64
+	tlWeight := make([]float64, timelineBuckets)
+	// addSpan folds an interval of constant occupancy into the timeline.
+	addSpan := func(from, to int64, occ int) {
+		if s.Span <= 0 || to <= from {
+			return
+		}
+		bw := float64(s.Span) / timelineBuckets
+		for b := 0; b < timelineBuckets; b++ {
+			blo := float64(start) + float64(b)*bw
+			bhi := blo + bw
+			lo, hi := float64(from), float64(to)
+			if lo < blo {
+				lo = blo
+			}
+			if hi > bhi {
+				hi = bhi
+			}
+			if hi > lo {
+				tlWeight[b] += (hi - lo) * float64(occ)
+			}
+		}
+	}
+	pageFaults := make(map[int64]uint64)
+	for _, ev := range events {
+		if int(ev.Kind) < len(s.Counts) {
+			s.Counts[ev.Kind]++
+		}
+		switch ev.Kind {
+		case FaultStart:
+			s.NodeFaults[ev.Node]++
+			pageFaults[ev.Page]++
+		case FaultDisk:
+			s.FaultDiskLat.Add(float64(ev.Arg))
+		case FaultRing:
+			s.FaultRingLat.Add(float64(ev.Arg))
+		case SwapStart:
+			s.NodeSwaps[ev.Node]++
+		case SwapDone:
+			s.SwapLat.Add(float64(ev.Arg))
+		case RingInsert, RingRelease:
+			weighted += float64(occupancy) * float64(ev.T-lastChange)
+			addSpan(lastChange, ev.T, occupancy)
+			lastChange = ev.T
+			if ev.Kind == RingInsert {
+				occupancy++
+			} else if occupancy > 0 {
+				occupancy--
+			}
+			if occupancy > s.RingPeak {
+				s.RingPeak = occupancy
+			}
+			s.RingSamples++
+		}
+	}
+	if s.Span > 0 {
+		weighted += float64(occupancy) * float64(events[len(events)-1].T-lastChange)
+		addSpan(lastChange, events[len(events)-1].T, occupancy)
+		s.RingAvg = weighted / float64(s.Span)
+		if s.RingSamples > 0 {
+			bw := float64(s.Span) / timelineBuckets
+			s.RingTimeline = make([]float64, timelineBuckets)
+			for b, wsum := range tlWeight {
+				s.RingTimeline[b] = wsum / bw
+			}
+		}
+	}
+	for page, n := range pageFaults {
+		s.HotPages = append(s.HotPages, PageCount{Page: page, Count: n})
+	}
+	sort.Slice(s.HotPages, func(i, j int) bool {
+		if s.HotPages[i].Count != s.HotPages[j].Count {
+			return s.HotPages[i].Count > s.HotPages[j].Count
+		}
+		return s.HotPages[i].Page < s.HotPages[j].Page
+	})
+	if len(s.HotPages) > 10 {
+		s.HotPages = s.HotPages[:10]
+	}
+	return s
+}
+
+// String renders the summary as a report.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	t := &stats.Table{Title: "Event counts", Headers: []string{"Kind", "Count"}}
+	for k := Kind(0); k < numKinds; k++ {
+		if s.Counts[k] > 0 {
+			t.AddRow(k.String(), fmt.Sprintf("%d", s.Counts[k]))
+		}
+	}
+	sb.WriteString(t.String())
+	sb.WriteByte('\n')
+
+	lat := &stats.Table{
+		Title:   "Latencies (pcycles)",
+		Headers: []string{"Metric", "Count", "Mean", "p50", "p99", "Max"},
+	}
+	addLat := func(name string, h *stats.Histogram) {
+		if h.Total == 0 {
+			return
+		}
+		lat.AddRow(name,
+			fmt.Sprintf("%d", h.Total),
+			stats.FmtF(h.Mean(), 0),
+			stats.FmtF(h.Percentile(0.5), 0),
+			stats.FmtF(h.Percentile(0.99), 0),
+			stats.FmtF(h.MaxV, 0))
+	}
+	addLat("fault (disk)", &s.FaultDiskLat)
+	addLat("fault (ring)", &s.FaultRingLat)
+	addLat("swap-out", &s.SwapLat)
+	sb.WriteString(lat.String())
+	sb.WriteByte('\n')
+
+	if s.RingSamples > 0 {
+		fmt.Fprintf(&sb, "ring occupancy: peak %d pages, time-weighted mean %.1f\n",
+			s.RingPeak, s.RingAvg)
+		if len(s.RingTimeline) > 0 {
+			fmt.Fprintf(&sb, "timeline:       |%s| 0..%d pages\n",
+				sparkline(s.RingTimeline, float64(s.RingPeak)), s.RingPeak)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(s.HotPages) > 0 {
+		hot := &stats.Table{Title: "Hottest pages (by faults)", Headers: []string{"Page", "Faults"}}
+		for _, pc := range s.HotPages {
+			hot.AddRow(fmt.Sprintf("%d", pc.Page), fmt.Sprintf("%d", pc.Count))
+		}
+		sb.WriteString(hot.String())
+	}
+	return sb.String()
+}

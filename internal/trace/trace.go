@@ -1,0 +1,229 @@
+// Package trace provides event tracing for simulation runs: the machine
+// emits typed events (faults, swap-outs, ring activity, disk flow
+// control), the tracer buffers them, and the package offers binary and
+// JSON codecs plus post-hoc analysis (latency distributions, ring
+// occupancy timelines, per-node activity).
+//
+// Tracing is optional and zero-cost when disabled (a nil *Tracer ignores
+// Emit calls).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind identifies an event type.
+type Kind uint8
+
+// Event kinds.
+const (
+	FaultStart  Kind = iota // node begins servicing a page fault
+	FaultDisk               // fault served by a disk (arg: latency pcycles)
+	FaultRing               // fault served by a ring victim hit (arg: latency)
+	FaultWait               // fault resolved by waiting on an in-flight fetch
+	SwapStart               // node begins swapping a page out
+	SwapDone                // frame released (arg: swap-out latency)
+	RingInsert              // page inserted on a cache channel
+	RingDrain               // page copied from the ring to a disk cache
+	RingVictim              // page victim-read off the ring
+	RingRelease             // channel slot freed (ACK received)
+	DiskNACK                // disk controller rejected a swap-out
+	DiskOK                  // disk controller released a NACKed swap-out
+	CleanEvict              // clean page dropped without disk traffic
+	numKinds
+)
+
+// kindNames maps kinds to stable identifiers (used in JSON).
+var kindNames = [numKinds]string{
+	"fault-start", "fault-disk", "fault-ring", "fault-wait",
+	"swap-start", "swap-done",
+	"ring-insert", "ring-drain", "ring-victim", "ring-release",
+	"disk-nack", "disk-ok", "clean-evict",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString inverts String; returns numKinds if unknown.
+func KindFromString(s string) Kind {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i)
+		}
+	}
+	return numKinds
+}
+
+// Event is one trace record.
+type Event struct {
+	T    int64 // pcycles
+	Kind Kind
+	Node int32 // originating node
+	Page int64
+	Arg  int64 // kind-specific: latency, disk node, ...
+}
+
+// Tracer buffers events up to a cap (0 = unbounded); past the cap events
+// are counted in Dropped but discarded, so a runaway simulation cannot
+// exhaust memory.
+type Tracer struct {
+	Max     int
+	events  []Event
+	Dropped uint64
+}
+
+// New returns a Tracer capped at max events (0 = unbounded).
+func New(max int) *Tracer { return &Tracer{Max: max} }
+
+// Emit records one event. Safe on a nil receiver (no-op).
+func (t *Tracer) Emit(at int64, kind Kind, node int, page int64, arg int64) {
+	if t == nil {
+		return
+	}
+	if t.Max > 0 && len(t.events) >= t.Max {
+		t.Dropped++
+		return
+	}
+	t.events = append(t.events, Event{T: at, Kind: kind, Node: int32(node), Page: page, Arg: arg})
+}
+
+// Events returns the buffered events (not a copy).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// magic identifies the binary trace format.
+var magic = [8]byte{'N', 'W', 'T', 'R', 'C', '0', '0', '1'}
+
+// WriteBinary encodes events in the compact binary format.
+func WriteBinary(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(events))); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := binary.Write(bw, binary.LittleEndian, ev.T); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ev.Node); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ev.Page); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, ev.Arg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 30
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	events := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var ev Event
+		if err := binary.Read(br, binary.LittleEndian, &ev.T); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		k, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		ev.Kind = Kind(k)
+		if err := binary.Read(br, binary.LittleEndian, &ev.Node); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ev.Page); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ev.Arg); err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// jsonEvent is the JSON lines representation.
+type jsonEvent struct {
+	T    int64  `json:"t"`
+	Kind string `json:"kind"`
+	Node int32  `json:"node"`
+	Page int64  `json:"page"`
+	Arg  int64  `json:"arg,omitempty"`
+}
+
+// WriteJSON encodes events as JSON lines.
+func WriteJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(jsonEvent{
+			T: ev.T, Kind: ev.Kind.String(), Node: ev.Node, Page: ev.Page, Arg: ev.Arg,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes a JSON-lines trace.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for dec.More() {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, err
+		}
+		k := KindFromString(je.Kind)
+		if k == numKinds {
+			return nil, fmt.Errorf("trace: unknown kind %q", je.Kind)
+		}
+		events = append(events, Event{T: je.T, Kind: k, Node: je.Node, Page: je.Page, Arg: je.Arg})
+	}
+	return events, nil
+}

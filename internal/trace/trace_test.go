@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{T: 0, Kind: FaultStart, Node: 0, Page: 10},
+		{T: 100, Kind: FaultDisk, Node: 0, Page: 10, Arg: 100},
+		{T: 150, Kind: SwapStart, Node: 1, Page: 20},
+		{T: 200, Kind: RingInsert, Node: 1, Page: 20},
+		{T: 210, Kind: SwapDone, Node: 1, Page: 20, Arg: 60},
+		{T: 400, Kind: FaultStart, Node: 2, Page: 20},
+		{T: 500, Kind: FaultRing, Node: 2, Page: 20, Arg: 100},
+		{T: 600, Kind: RingRelease, Node: 1, Page: 20},
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, FaultStart, 0, 0, 0) // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer not empty")
+	}
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), FaultStart, 0, int64(i), 0)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len %d, want 3", tr.Len())
+	}
+	if tr.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", tr.Dropped)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryBadMagicRejected(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOT A TRACE FILE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"fault-start"`) {
+		t.Fatalf("JSON lacks kind names:\n%s", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONUnknownKindRejected(t *testing.T) {
+	r := strings.NewReader(`{"t":1,"kind":"bogus","node":0,"page":0}`)
+	if _, err := ReadJSON(r); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if KindFromString(k.String()) != k {
+			t.Fatalf("kind %d does not round-trip via %q", k, k.String())
+		}
+	}
+	if KindFromString("nope") != numKinds {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ts []int64, kindsRaw []uint8) bool {
+		n := len(ts)
+		if len(kindsRaw) < n {
+			n = len(kindsRaw)
+		}
+		events := make([]Event, n)
+		for i := 0; i < n; i++ {
+			events[i] = Event{
+				T:    ts[i],
+				Kind: Kind(kindsRaw[i] % uint8(numKinds)),
+				Node: int32(i % 8),
+				Page: int64(i * 3),
+				Arg:  ts[i] / 2,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, events); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeCountsAndLatencies(t *testing.T) {
+	s := Analyze(sampleEvents())
+	if s.Counts[FaultStart] != 2 || s.Counts[SwapDone] != 1 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	if s.FaultDiskLat.Total != 1 || s.FaultDiskLat.Mean() != 100 {
+		t.Fatalf("disk fault lat %v", s.FaultDiskLat)
+	}
+	if s.FaultRingLat.Total != 1 {
+		t.Fatal("ring fault lat missing")
+	}
+	if s.SwapLat.Mean() != 60 {
+		t.Fatalf("swap lat %f", s.SwapLat.Mean())
+	}
+	if s.Span != 600 {
+		t.Fatalf("span %d", s.Span)
+	}
+}
+
+func TestAnalyzeRingOccupancy(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: RingInsert, Page: 1},
+		{T: 100, Kind: RingInsert, Page: 2},
+		{T: 200, Kind: RingRelease, Page: 1},
+		{T: 400, Kind: RingRelease, Page: 2},
+	}
+	s := Analyze(events)
+	if s.RingPeak != 2 {
+		t.Fatalf("peak %d, want 2", s.RingPeak)
+	}
+	// Occupancy: 1 for [0,100), 2 for [100,200), 1 for [200,400):
+	// mean = (100*1 + 100*2 + 200*1)/400 = 1.25.
+	if s.RingAvg != 1.25 {
+		t.Fatalf("avg %f, want 1.25", s.RingAvg)
+	}
+}
+
+func TestAnalyzeHotPages(t *testing.T) {
+	var events []Event
+	for i := 0; i < 5; i++ {
+		events = append(events, Event{T: int64(i), Kind: FaultStart, Page: 7})
+	}
+	events = append(events, Event{T: 10, Kind: FaultStart, Page: 9})
+	s := Analyze(events)
+	if len(s.HotPages) == 0 || s.HotPages[0].Page != 7 || s.HotPages[0].Count != 5 {
+		t.Fatalf("hot pages %v", s.HotPages)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil)
+	if s.Span != 0 || len(s.HotPages) != 0 {
+		t.Fatal("empty analysis not empty")
+	}
+	if !strings.Contains(s.String(), "Event counts") {
+		t.Fatal("empty summary should still render")
+	}
+}
+
+func TestSummaryStringRenders(t *testing.T) {
+	out := Analyze(sampleEvents()).String()
+	for _, want := range []string{"fault-disk", "swap-out", "ring occupancy", "Hottest pages"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingTimelineTracksOccupancy(t *testing.T) {
+	// Occupancy 1 for the first half of the span, 0 for the second half:
+	// the timeline's first buckets must be ~1 and the last ~0.
+	events := []Event{
+		{T: 0, Kind: RingInsert, Page: 1},
+		{T: 500, Kind: RingRelease, Page: 1},
+		{T: 1000, Kind: FaultStart, Page: 2}, // extends the span
+	}
+	s := Analyze(events)
+	if len(s.RingTimeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	first := s.RingTimeline[0]
+	last := s.RingTimeline[len(s.RingTimeline)-1]
+	if first < 0.9 {
+		t.Fatalf("first bucket %f, want ~1", first)
+	}
+	if last > 0.1 {
+		t.Fatalf("last bucket %f, want ~0", last)
+	}
+	if !strings.Contains(s.String(), "timeline:") {
+		t.Fatal("timeline not rendered")
+	}
+}
+
+func TestSparklineScaling(t *testing.T) {
+	out := sparkline([]float64{0, 0.5, 1}, 1)
+	if len(out) != 3 {
+		t.Fatalf("len %d", len(out))
+	}
+	if out[0] != ' ' {
+		t.Fatalf("zero level %q", out[0])
+	}
+	if out[2] != '@' {
+		t.Fatalf("max level %q", out[2])
+	}
+	// Degenerate max must not panic or divide by zero.
+	if sparkline([]float64{1}, 0) == "" {
+		t.Fatal("empty sparkline")
+	}
+}

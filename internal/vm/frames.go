@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"container/list"
+	"fmt"
+
+	"nwcache/internal/sim"
+)
+
+// FramePool manages one node's physical page frames: a free count, the LRU
+// list of resident pages, and the operating system's minimum-free-frames
+// floor that triggers replacement.
+type FramePool struct {
+	node    int
+	total   int
+	free    int
+	minFree int
+
+	lru     *list.List // front = most recently used page
+	present map[PageID]*list.Element
+
+	// FrameFreed is broadcast whenever a frame becomes free, waking
+	// processors stalled in NoFree and the replacement daemon.
+	FrameFreed *sim.Cond
+	// Pressure is signaled when free drops to/below the floor, waking the
+	// replacement daemon.
+	Pressure *sim.Cond
+
+	// Statistics.
+	Allocs    uint64
+	Evictions uint64
+}
+
+// NewFramePool returns a pool of `frames` free frames for a node.
+func NewFramePool(e *sim.Engine, node, frames, minFree int) *FramePool {
+	if minFree < 1 || minFree >= frames {
+		panic(fmt.Sprintf("vm: node %d: minFree %d out of range for %d frames", node, minFree, frames))
+	}
+	return &FramePool{
+		node:       node,
+		total:      frames,
+		free:       frames,
+		minFree:    minFree,
+		lru:        list.New(),
+		present:    make(map[PageID]*list.Element),
+		FrameFreed: sim.NewCond(e),
+		Pressure:   sim.NewCond(e),
+	}
+}
+
+// Free returns the current free-frame count.
+func (f *FramePool) Free() int { return f.free }
+
+// Total returns the pool size.
+func (f *FramePool) Total() int { return f.total }
+
+// MinFree returns the configured floor.
+func (f *FramePool) MinFree() int { return f.minFree }
+
+// Resident returns the number of pages mapped in this pool.
+func (f *FramePool) Resident() int { return f.lru.Len() }
+
+// BelowFloor reports whether the free count is at or below the floor,
+// i.e. the replacement daemon should be working.
+func (f *FramePool) BelowFloor() bool { return f.free <= f.minFree }
+
+// HasFree reports whether an allocation can proceed immediately.
+func (f *FramePool) HasFree() bool { return f.free > 0 }
+
+// Alloc consumes one free frame for page and inserts it as most recently
+// used. The caller must have ensured HasFree (stalling in NoFree
+// otherwise); violating that is a programming error.
+func (f *FramePool) Alloc(page PageID) {
+	f.Reserve()
+	f.AdoptReserved(page)
+}
+
+// Reserve consumes one free frame without binding it to a page yet: the
+// fault path grabs the frame before the (long) I/O that fills it, and the
+// page only becomes replaceable once AdoptReserved maps it. Panics with no
+// free frames.
+func (f *FramePool) Reserve() {
+	if f.free == 0 {
+		panic(fmt.Sprintf("vm: node %d: Reserve with no free frames", f.node))
+	}
+	f.free--
+	f.Allocs++
+	if f.BelowFloor() {
+		f.Pressure.Signal()
+	}
+}
+
+// Unreserve returns a Reserved frame unused (the fault it was held for
+// resolved another way), waking NoFree stalls.
+func (f *FramePool) Unreserve() {
+	if f.free+f.lru.Len() >= f.total {
+		panic(fmt.Sprintf("vm: node %d: Unreserve without a reservation", f.node))
+	}
+	f.free++
+	f.FrameFreed.Broadcast()
+}
+
+// AdoptReserved binds a previously Reserved frame to page, making it
+// visible to LRU replacement.
+func (f *FramePool) AdoptReserved(page PageID) {
+	if _, dup := f.present[page]; dup {
+		panic(fmt.Sprintf("vm: node %d: page %d already resident", f.node, page))
+	}
+	if f.free+f.lru.Len() >= f.total {
+		panic(fmt.Sprintf("vm: node %d: AdoptReserved without a reservation", f.node))
+	}
+	f.present[page] = f.lru.PushFront(page)
+}
+
+// Touch refreshes page's LRU position (on access). No-op if not present.
+func (f *FramePool) Touch(page PageID) {
+	if el, ok := f.present[page]; ok {
+		f.lru.MoveToFront(el)
+	}
+}
+
+// Contains reports whether page occupies a frame in this pool.
+func (f *FramePool) Contains(page PageID) bool {
+	_, ok := f.present[page]
+	return ok
+}
+
+// VictimLRU returns the least recently used resident page without removing
+// it, or false if the pool is empty.
+func (f *FramePool) VictimLRU() (PageID, bool) {
+	back := f.lru.Back()
+	if back == nil {
+		return 0, false
+	}
+	return back.Value.(PageID), true
+}
+
+// Remove unmaps page, freeing its frame and waking NoFree stalls. The
+// page must be present.
+func (f *FramePool) Remove(page PageID) {
+	el, ok := f.present[page]
+	if !ok {
+		panic(fmt.Sprintf("vm: node %d: removing non-resident page %d", f.node, page))
+	}
+	f.lru.Remove(el)
+	delete(f.present, page)
+	f.free++
+	f.Evictions++
+	f.FrameFreed.Broadcast()
+}
+
+// Unmap removes the page from the LRU/present set WITHOUT freeing the
+// frame: used at the start of a swap-out, when the page's data still sits
+// in the frame until the disk (or ring) has taken it. Pair with
+// ReleaseFrame when the copy is safe.
+func (f *FramePool) Unmap(page PageID) {
+	el, ok := f.present[page]
+	if !ok {
+		panic(fmt.Sprintf("vm: node %d: unmapping non-resident page %d", f.node, page))
+	}
+	f.lru.Remove(el)
+	delete(f.present, page)
+}
+
+// ReleaseFrame frees a frame previously detached with Unmap (the ACK
+// arrived / the ring insert completed: the memory can be reused).
+func (f *FramePool) ReleaseFrame() {
+	if f.free+f.lru.Len() >= f.total {
+		panic(fmt.Sprintf("vm: node %d: frame over-release", f.node))
+	}
+	f.free++
+	f.Evictions++
+	f.FrameFreed.Broadcast()
+}

@@ -1,0 +1,119 @@
+// Package vm provides the operating system's virtual-memory data
+// structures: the single machine-wide page table (whose entries are
+// accessed with mutual exclusion, as in the paper's base system) and the
+// per-node page-frame pools with LRU replacement and a minimum-free-frames
+// floor.
+//
+// The fault/swap orchestration that drives these structures lives in
+// internal/machine; this package owns state and invariants.
+package vm
+
+import (
+	"fmt"
+
+	"nwcache/internal/optical"
+	"nwcache/internal/sim"
+)
+
+// PageID is a virtual page number.
+type PageID = int64
+
+// PageState is the lifecycle of a page with respect to memory.
+type PageState int
+
+// Page states. A page has at most one copy beyond the disk controller's
+// boundary: in some node's memory (Resident) or on the optical ring
+// (OnRing) — never both (the paper's coherence argument).
+const (
+	Unmapped PageState = iota // only on disk
+	Transit                   // a node is fetching it (fault in progress)
+	Resident                  // in the owner node's memory
+	OnRing                    // swapped out, stored on the NWCache ring
+)
+
+// String implements fmt.Stringer.
+func (s PageState) String() string {
+	switch s {
+	case Unmapped:
+		return "Unmapped"
+	case Transit:
+		return "Transit"
+	case Resident:
+		return "Resident"
+	case OnRing:
+		return "OnRing"
+	}
+	return fmt.Sprintf("PageState(%d)", int(s))
+}
+
+// Entry is one page-table entry.
+type Entry struct {
+	Page  PageID
+	State PageState
+	Owner int  // node holding the copy (Resident), or last owner
+	Dirty bool // modified since last disk write
+
+	// LastSwapper is the node that last swapped the page out: with the
+	// Ring bit set it identifies the cache channel holding the page (the
+	// paper's "last virtual-to-physical translation").
+	LastSwapper int
+	RingEntry   *optical.Entry // live ring entry when State == OnRing
+
+	// Lock provides the paper's per-entry mutual exclusion.
+	Lock *sim.Mutex
+	// Arrived is broadcast when a Transit completes, waking processors
+	// that faulted on a page already being fetched.
+	Arrived *sim.Cond
+	// transitEnd records when the in-flight fetch completes (for Transit
+	// waiters' accounting).
+	TransitBy int
+}
+
+// Table is the machine-wide page table.
+type Table struct {
+	e       *sim.Engine
+	entries map[PageID]*Entry
+}
+
+// NewTable returns an empty page table.
+func NewTable(e *sim.Engine) *Table {
+	return &Table{e: e, entries: make(map[PageID]*Entry)}
+}
+
+// Get returns the entry for page, creating an Unmapped one on first use.
+func (t *Table) Get(page PageID) *Entry {
+	en, ok := t.entries[page]
+	if !ok {
+		en = &Entry{
+			Page:        page,
+			State:       Unmapped,
+			Owner:       -1,
+			LastSwapper: -1,
+			Lock:        sim.NewMutex(t.e),
+			Arrived:     sim.NewCond(t.e),
+		}
+		t.entries[page] = en
+	}
+	return en
+}
+
+// Lookup returns the entry if it exists, without creating it.
+func (t *Table) Lookup(page PageID) (*Entry, bool) {
+	en, ok := t.entries[page]
+	return en, ok
+}
+
+// Len returns the number of instantiated entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// ResidentCount returns how many pages are currently Resident (for
+// invariant checks in tests).
+func (t *Table) ResidentCount() int {
+	n := 0
+	for _, en := range t.entries {
+		if en.State == Resident {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/machine"
+)
+
+// Per-application behavioral tests: each app's signature access pattern
+// must be visible in the simulator's statistics.
+
+func TestGaussPivotSharingGeneratesRemoteTraffic(t *testing.T) {
+	// Every processor reads the pivot row each step: heavy sharing, so a
+	// large remote/local ratio compared with SOR (nearest-neighbor only).
+	gauss := runApp(t, "gauss", machine.Standard, disk.Optimal)
+	sor := runApp(t, "sor", machine.Standard, disk.Optimal)
+	gr := float64(gauss.RemoteAccs) / float64(gauss.RemoteAccs+gauss.LocalAccs)
+	sr := float64(sor.RemoteAccs) / float64(sor.RemoteAccs+sor.LocalAccs)
+	if gr <= sr {
+		t.Fatalf("gauss remote fraction %.3f <= sor %.3f; pivot sharing missing", gr, sr)
+	}
+}
+
+func TestFFTTransposeSharesAllPartitions(t *testing.T) {
+	// Each transpose reads one element from every row, i.e. from every
+	// processor's partition: FFT must show substantial cross-node traffic.
+	res := runApp(t, "fft", machine.Standard, disk.Optimal)
+	if res.RemoteAccs == 0 {
+		t.Fatal("fft transposes produced no remote accesses")
+	}
+	frac := float64(res.RemoteAccs) / float64(res.RemoteAccs+res.LocalAccs)
+	if frac < 0.05 {
+		t.Fatalf("fft remote fraction %.3f; transposes should reach all partitions", frac)
+	}
+}
+
+func TestRadixScattersWrites(t *testing.T) {
+	// The permute phase writes all over the destination array: radix must
+	// dirty (and eventually swap) many distinct pages.
+	res := runApp(t, "radix", machine.Standard, disk.Naive)
+	if res.SwapOuts == 0 {
+		t.Fatal("radix produced no swap-outs")
+	}
+}
+
+func TestSORNeighborExchangeOnly(t *testing.T) {
+	// SOR shares only boundary rows: remote accesses exist but are a
+	// small fraction of the total.
+	res := runApp(t, "sor", machine.Standard, disk.Optimal)
+	if res.RemoteAccs == 0 {
+		t.Fatal("no boundary exchange at all")
+	}
+	frac := float64(res.RemoteAccs) / float64(res.RemoteAccs+res.LocalAccs)
+	if frac > 0.3 {
+		t.Fatalf("sor remote fraction %.2f; should be boundary-only", frac)
+	}
+}
+
+func TestEm3dRemotePercentControlsSharing(t *testing.T) {
+	// Doubling the remote-edge percentage must increase remote traffic.
+	lo := NewEm3d(0.1, 1)
+	lo.pctRemote = 2
+	hi := NewEm3d(0.1, 1)
+	hi.pctRemote = 20
+	run := func(p machine.Program) *machine.Result {
+		cfg := testCfg()
+		m, err := machine.New(cfg, machine.Standard, disk.Optimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rlo := run(lo)
+	rhi := run(hi)
+	if rhi.RemoteAccs <= rlo.RemoteAccs {
+		t.Fatalf("20%% remote edges gave %d remote accs <= 2%%'s %d",
+			rhi.RemoteAccs, rlo.RemoteAccs)
+	}
+}
+
+func TestMGWorksAcrossAllLevels(t *testing.T) {
+	// The multigrid V-cycle touches pages of every level: the footprint
+	// spans the full allocation, so distinct faulted pages should approach
+	// the data size under memory pressure.
+	m := NewMG(0.25)
+	if m.levels != 4 {
+		t.Fatalf("levels %d", m.levels)
+	}
+	x, y, z := m.dims(3)
+	if x != 4 || y != 4 {
+		t.Fatalf("coarsest level %dx%dx%d", x, y, z)
+	}
+	res := runApp(t, "mg", machine.Standard, disk.Optimal)
+	if res.Faults == 0 {
+		t.Fatal("mg never faulted")
+	}
+}
+
+func TestLUOwnershipCoversAllBlocks(t *testing.T) {
+	l := NewLU(0.25)
+	procs := 8
+	counts := make([]int, procs)
+	for i := 0; i < l.nb; i++ {
+		for j := 0; j < l.nb; j++ {
+			o := l.owner(i, j, procs)
+			if o < 0 || o >= procs {
+				t.Fatalf("block (%d,%d) owner %d", i, j, o)
+			}
+			counts[o]++
+		}
+	}
+	// 2D scatter: every processor owns a reasonable share.
+	total := l.nb * l.nb
+	for p, c := range counts {
+		if c == 0 {
+			t.Fatalf("proc %d owns no blocks", p)
+		}
+		if c > total/2 {
+			t.Fatalf("proc %d owns %d of %d blocks", p, c, total)
+		}
+	}
+}
+
+func TestAppsProgressUnderAllPrefetchModes(t *testing.T) {
+	for _, mode := range []disk.PrefetchMode{disk.Naive, disk.Optimal, disk.Streamed} {
+		res := runApp(t, "sor", machine.NWCache, mode)
+		if res.ExecTime <= 0 {
+			t.Fatalf("%v: no progress", mode)
+		}
+	}
+}
+
+func TestScaledAppsKeepRelativeFootprints(t *testing.T) {
+	// FFT stays the biggest and gauss among the smallest, as in Table 2.
+	// (FFT's side is a power of two, so only scales where its rounding
+	// lands near the nominal size are compared.)
+	for _, scale := range []float64{0.25, 1.0} {
+		reg := Registry(scale, 1)
+		if reg["fft"].DataPages() < reg["gauss"].DataPages() {
+			t.Fatalf("scale %.2f: fft (%d) smaller than gauss (%d)",
+				scale, reg["fft"].DataPages(), reg["gauss"].DataPages())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+
+	"nwcache/internal/machine"
+)
+
+// Em3d models electromagnetic wave propagation on a bipartite graph of E
+// and H nodes (Table 2: 32K nodes, 5% remote edges, 10 iterations). Each
+// iteration updates all E nodes from their H dependencies, then all H
+// nodes from their E dependencies. Dependencies are overwhelmingly local
+// to a processor's partition, with 5% reaching into a uniformly random
+// remote partition — the paper's sharing knob.
+type Em3d struct {
+	nodes     int // per side (E and H each have nodes/2)
+	iters     int
+	pctRemote int // percent of remote dependencies
+	eRec      Arr // E node records (value + adjacency)
+	hRec      Arr
+	pages     int64
+	seed      int64
+}
+
+// Em3d cost model.
+const (
+	em3dRecBytes      = 80 // node record: value, 5 neighbor refs, percent list, padding
+	em3dBatch         = 16 // nodes updated per modeled batch (one sub-block)
+	em3dDegree        = 5
+	em3dCyclesPerEdge = 4
+)
+
+// NewEm3d builds the Em3d program at the given scale.
+func NewEm3d(scale float64, seed int64) *Em3d {
+	nodes := int(float64(32*1024) * scale)
+	if nodes < 2048 {
+		nodes = 2048
+	}
+	e := &Em3d{nodes: nodes, iters: 10, pctRemote: 5, seed: seed}
+	var sp Space
+	half := int64(nodes / 2)
+	e.eRec = sp.Alloc("enodes", half*em3dRecBytes)
+	e.hRec = sp.Alloc("hnodes", half*em3dRecBytes)
+	e.pages = sp.Pages()
+	return e
+}
+
+// Name implements machine.Program.
+func (e *Em3d) Name() string { return "em3d" }
+
+// DataPages implements machine.Program.
+func (e *Em3d) DataPages() int64 { return e.pages }
+
+// phase updates the `out` side from the `in` side for this processor's
+// node range.
+func (e *Em3d) phase(ctx *machine.Ctx, rng *rand.Rand, out, in Arr, lo, hi int) {
+	for b := lo; b < hi; b += em3dBatch {
+		n := min(em3dBatch, hi-b)
+		recs := int64(n) * em3dRecBytes
+		off := int64(b) * em3dRecBytes
+		// Read this batch's records (values + adjacency lists).
+		Read(ctx, out, off, recs)
+		// Local dependencies: the corresponding region of the other side.
+		Read(ctx, in, off, recs)
+		// Remote dependencies: ~5% of the batch's edges reach a random
+		// other partition, one value-sized read each.
+		remote := n * em3dDegree * e.pctRemote / 100
+		if remote < 1 {
+			remote = 1
+		}
+		for k := 0; k < remote; k++ {
+			roff := rng.Int63n(in.Bytes - LineSize)
+			Read(ctx, in, roff, LineSize)
+		}
+		// Write the updated values back into the batch records.
+		Write(ctx, out, off, recs)
+		ctx.Compute(int64(n) * em3dDegree * em3dCyclesPerEdge)
+	}
+	ctx.Barrier()
+}
+
+// Run implements machine.Program.
+func (e *Em3d) Run(ctx *machine.Ctx, proc int) {
+	half := e.nodes / 2
+	lo, hi := blockRange(half, ctx.Procs(), proc)
+	rng := rand.New(rand.NewSource(e.seed + int64(proc)*999983))
+	for it := 0; it < e.iters; it++ {
+		e.phase(ctx, rng, e.eRec, e.hRec, lo, hi) // E from H
+		e.phase(ctx, rng, e.hRec, e.eRec, lo, hi) // H from E
+	}
+}

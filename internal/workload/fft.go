@@ -1,0 +1,96 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// FFT is the 1D fast Fourier transform of Table 2 (64K complex points),
+// organized as the SPLASH-2 six-step algorithm over a sqrt(n) x sqrt(n)
+// matrix of complex doubles: transpose, per-row FFTs, twiddle
+// multiplication, transpose, per-row FFTs, transpose. Transposes generate
+// the strided, non-sequential page traffic the paper calls out as
+// defeating naive sequential prefetching.
+type FFT struct {
+	side  int // matrix side: side*side complex points
+	src   Arr
+	dst   Arr
+	tw    Arr // twiddle factors (read-only)
+	pages int64
+}
+
+// FFT cost model: butterflies per row FFT = 5*m*log2(m) cycles.
+const fftCyclesPerButterfly = 5
+
+// NewFFT builds the FFT program at the given scale. The paper's 64K points
+// give a 256x256 matrix; scale shrinks the side (points scale ~linearly
+// with the configured scale).
+func NewFFT(scale float64) *FFT {
+	side := 256
+	for side*side > int(float64(65536)*scale) && side > 16 {
+		side /= 2
+	}
+	f := &FFT{side: side}
+	var sp Space
+	bytes := int64(side) * int64(side) * 16 // complex double
+	f.src = sp.Alloc("src", bytes)
+	f.dst = sp.Alloc("dst", bytes)
+	f.tw = sp.Alloc("twiddle", bytes)
+	f.pages = sp.Pages()
+	return f
+}
+
+// Name implements machine.Program.
+func (f *FFT) Name() string { return "fft" }
+
+// DataPages implements machine.Program.
+func (f *FFT) DataPages() int64 { return f.pages }
+
+// rowBytes is the byte length of one matrix row.
+func (f *FFT) rowBytes() int64 { return int64(f.side) * 16 }
+
+// transpose reads column i of `from` (one element from every row: the
+// strided pattern) and writes row i of `to`, for this processor's rows.
+func (f *FFT) transpose(ctx *machine.Ctx, from, to Arr, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < f.side; j++ {
+			Read(ctx, from, int64(j)*f.rowBytes()+int64(i)*16, 16)
+		}
+		Write(ctx, to, int64(i)*f.rowBytes(), f.rowBytes())
+		ctx.Compute(int64(f.side) * 2)
+	}
+	ctx.Barrier()
+}
+
+// rowFFT transforms this processor's rows of a in place.
+func (f *FFT) rowFFT(ctx *machine.Ctx, a Arr, lo, hi int) {
+	logm := 0
+	for 1<<logm < f.side {
+		logm++
+	}
+	for i := lo; i < hi; i++ {
+		Read(ctx, a, int64(i)*f.rowBytes(), f.rowBytes())
+		Write(ctx, a, int64(i)*f.rowBytes(), f.rowBytes())
+		ctx.Compute(int64(f.side) * int64(logm) * fftCyclesPerButterfly)
+	}
+	ctx.Barrier()
+}
+
+// twiddle multiplies this processor's rows by the twiddle factors.
+func (f *FFT) twiddle(ctx *machine.Ctx, a Arr, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		Read(ctx, f.tw, int64(i)*f.rowBytes(), f.rowBytes())
+		Read(ctx, a, int64(i)*f.rowBytes(), f.rowBytes())
+		Write(ctx, a, int64(i)*f.rowBytes(), f.rowBytes())
+		ctx.Compute(int64(f.side) * 6)
+	}
+	ctx.Barrier()
+}
+
+// Run implements machine.Program.
+func (f *FFT) Run(ctx *machine.Ctx, proc int) {
+	lo, hi := blockRange(f.side, ctx.Procs(), proc)
+	f.transpose(ctx, f.src, f.dst, lo, hi) // step 1
+	f.rowFFT(ctx, f.dst, lo, hi)           // step 2
+	f.twiddle(ctx, f.dst, lo, hi)          // step 3
+	f.transpose(ctx, f.dst, f.src, lo, hi) // step 4
+	f.rowFFT(ctx, f.src, lo, hi)           // step 5
+	f.transpose(ctx, f.src, f.dst, lo, hi) // step 6
+}

@@ -1,0 +1,54 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// Gauss is the unblocked Gaussian elimination of Table 2: a 570x512 matrix
+// of doubles. At step k every processor reads the pivot row k (heavy
+// sharing) and eliminates its cyclically-assigned rows below it, writing
+// only the trailing columns. A barrier separates elimination steps.
+type Gauss struct {
+	rows, cols int
+	m          Arr
+	pages      int64
+}
+
+// Gauss cost model: multiply-add plus addressing per updated element.
+const gaussCyclesPerElem = 4
+
+// NewGauss builds the Gauss program at the given scale.
+func NewGauss(scale float64) *Gauss {
+	rows := scaleDim(570, scale, 24)
+	cols := 512
+	var sp Space
+	g := &Gauss{rows: rows, cols: cols}
+	g.m = sp.Alloc("M", int64(rows)*int64(cols)*8)
+	g.pages = sp.Pages()
+	return g
+}
+
+// Name implements machine.Program.
+func (g *Gauss) Name() string { return "gauss" }
+
+// DataPages implements machine.Program.
+func (g *Gauss) DataPages() int64 { return g.pages }
+
+// Run implements machine.Program.
+func (g *Gauss) Run(ctx *machine.Ctx, proc int) {
+	rowBytes := int64(g.cols) * 8
+	procs := ctx.Procs()
+	for k := 0; k < g.rows-1; k++ {
+		// Trailing sub-row from the pivot column onward.
+		off := int64(k) * 8
+		n := rowBytes - off
+		for i := k + 1; i < g.rows; i++ {
+			if i%procs != proc {
+				continue
+			}
+			Read(ctx, g.m, int64(k)*rowBytes+off, n)  // pivot row (shared)
+			Read(ctx, g.m, int64(i)*rowBytes+off, n)  // own row
+			Write(ctx, g.m, int64(i)*rowBytes+off, n) // eliminated row
+			ctx.Compute(int64(g.cols-k) * gaussCyclesPerElem)
+		}
+		ctx.Barrier()
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// LU is the blocked LU factorization of Table 2: a 576x576 matrix of
+// doubles in block-contiguous layout (as in SPLASH-2), 16x16 blocks
+// assigned to processors in a 2D scatter. Each step factors the diagonal
+// block, updates the perimeter, then the interior, with barriers between
+// phases.
+type LU struct {
+	n, bs, nb int // matrix dim, block size, blocks per side
+	m         Arr
+	pages     int64
+}
+
+// LU cost model.
+const (
+	luFactorCycles = 2 // per element^1.5 of the diagonal block (approx)
+	luUpdateCycles = 2 // per multiply-add in block updates
+)
+
+// NewLU builds the LU program at the given scale.
+func NewLU(scale float64) *LU {
+	bs := 16
+	n := scaleDim(576, scale, 8*bs)
+	n -= n % bs // whole blocks
+	l := &LU{n: n, bs: bs, nb: n / bs}
+	var sp Space
+	l.m = sp.Alloc("M", int64(n)*int64(n)*8)
+	l.pages = sp.Pages()
+	return l
+}
+
+// Name implements machine.Program.
+func (l *LU) Name() string { return "lu" }
+
+// DataPages implements machine.Program.
+func (l *LU) DataPages() int64 { return l.pages }
+
+// blockOff returns the byte offset of block (i,j) in the block-contiguous
+// layout.
+func (l *LU) blockOff(i, j int) int64 {
+	return (int64(i)*int64(l.nb) + int64(j)) * int64(l.bs) * int64(l.bs) * 8
+}
+
+// owner maps block (i,j) to a processor (2D scatter decomposition).
+func (l *LU) owner(i, j, procs int) int {
+	// Arrange processors in a pr x pc grid close to square.
+	pr := 1
+	for pr*pr < procs {
+		pr++
+	}
+	for procs%pr != 0 {
+		pr--
+	}
+	pc := procs / pr
+	return (i%pr)*pc + j%pc
+}
+
+// Run implements machine.Program.
+func (l *LU) Run(ctx *machine.Ctx, proc int) {
+	procs := ctx.Procs()
+	blockBytes := int64(l.bs) * int64(l.bs) * 8
+	flops := int64(l.bs) * int64(l.bs) * int64(l.bs) * luUpdateCycles
+	for k := 0; k < l.nb; k++ {
+		// Factor the diagonal block.
+		if l.owner(k, k, procs) == proc {
+			Read(ctx, l.m, l.blockOff(k, k), blockBytes)
+			Write(ctx, l.m, l.blockOff(k, k), blockBytes)
+			ctx.Compute(int64(l.bs*l.bs*l.bs/3) * luFactorCycles)
+		}
+		ctx.Barrier()
+		// Perimeter: row k and column k blocks.
+		for t := k + 1; t < l.nb; t++ {
+			if l.owner(k, t, procs) == proc {
+				Read(ctx, l.m, l.blockOff(k, k), blockBytes)
+				Read(ctx, l.m, l.blockOff(k, t), blockBytes)
+				Write(ctx, l.m, l.blockOff(k, t), blockBytes)
+				ctx.Compute(flops)
+			}
+			if l.owner(t, k, procs) == proc {
+				Read(ctx, l.m, l.blockOff(k, k), blockBytes)
+				Read(ctx, l.m, l.blockOff(t, k), blockBytes)
+				Write(ctx, l.m, l.blockOff(t, k), blockBytes)
+				ctx.Compute(flops)
+			}
+		}
+		ctx.Barrier()
+		// Interior updates.
+		for i := k + 1; i < l.nb; i++ {
+			for j := k + 1; j < l.nb; j++ {
+				if l.owner(i, j, procs) != proc {
+					continue
+				}
+				Read(ctx, l.m, l.blockOff(i, k), blockBytes)
+				Read(ctx, l.m, l.blockOff(k, j), blockBytes)
+				Read(ctx, l.m, l.blockOff(i, j), blockBytes)
+				Write(ctx, l.m, l.blockOff(i, j), blockBytes)
+				ctx.Compute(flops)
+			}
+		}
+		ctx.Barrier()
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// MG is the 3D Poisson multigrid solver of Table 2 (32x32x64 doubles, 10
+// V-cycles). Solution, right-hand side, and residual arrays exist at each
+// of four levels; each V-cycle relaxes, restricts to the coarser level,
+// and prolongates back, sweeping z-planes partitioned over the
+// processors. Plane sweeps read three neighbor planes of u and one of v —
+// the classic 7-point stencil traffic.
+type MG struct {
+	nx, ny, nz int
+	iters      int
+	levels     int
+	u, v, r    []Arr // per level
+	w          Arr   // finest-level work array (error estimate)
+	pages      int64
+}
+
+// MG cost model: cycles per point per stencil application.
+const mgCyclesPerPoint = 8
+
+// NewMG builds the MG program at the given scale (the z dimension scales).
+func NewMG(scale float64) *MG {
+	nz := scaleDim(64, scale, 16)
+	nz -= nz % 8 // keep coarsenable
+	if nz < 16 {
+		nz = 16
+	}
+	m := &MG{nx: 32, ny: 32, nz: nz, iters: 10, levels: 4}
+	var sp Space
+	x, y, z := m.nx, m.ny, m.nz
+	for l := 0; l < m.levels; l++ {
+		bytes := int64(x) * int64(y) * int64(z) * 8
+		m.u = append(m.u, sp.Alloc("u", bytes))
+		m.v = append(m.v, sp.Alloc("v", bytes))
+		m.r = append(m.r, sp.Alloc("r", bytes))
+		x, y, z = x/2, y/2, z/2
+	}
+	m.w = sp.Alloc("w", int64(m.nx)*int64(m.ny)*int64(m.nz)*8)
+	m.pages = sp.Pages()
+	return m
+}
+
+// Name implements machine.Program.
+func (m *MG) Name() string { return "mg" }
+
+// DataPages implements machine.Program.
+func (m *MG) DataPages() int64 { return m.pages }
+
+// dims returns the grid dimensions at level l.
+func (m *MG) dims(l int) (x, y, z int) {
+	x, y, z = m.nx, m.ny, m.nz
+	for ; l > 0; l-- {
+		x, y, z = x/2, y/2, z/2
+	}
+	return x, y, z
+}
+
+// sweep applies a stencil at level l: read u planes z-1..z+1 and one in
+// plane, write the out plane, for this processor's planes.
+func (m *MG) sweep(ctx *machine.Ctx, l int, in, out Arr, proc int) {
+	x, y, z := m.dims(l)
+	planeBytes := int64(x) * int64(y) * 8
+	lo, hi := blockRange(z, ctx.Procs(), proc)
+	for zz := lo; zz < hi; zz++ {
+		top := max(zz-1, 0)
+		bot := min(zz+1, z-1)
+		Read(ctx, m.u[l], int64(top)*planeBytes, planeBytes)
+		Read(ctx, m.u[l], int64(zz)*planeBytes, planeBytes)
+		Read(ctx, m.u[l], int64(bot)*planeBytes, planeBytes)
+		Read(ctx, in, int64(zz)*planeBytes, planeBytes)
+		Write(ctx, out, int64(zz)*planeBytes, planeBytes)
+		ctx.Compute(int64(x) * int64(y) * mgCyclesPerPoint)
+	}
+	ctx.Barrier()
+}
+
+// transferLevel models restriction (fine->coarse) or prolongation
+// (coarse->fine) between levels l and l+1.
+func (m *MG) transferLevel(ctx *machine.Ctx, fine, coarse int, down bool, proc int) {
+	_, _, zc := m.dims(coarse)
+	xf, yf, _ := m.dims(fine)
+	finePlane := int64(xf) * int64(yf) * 8
+	xc2, yc2, _ := m.dims(coarse)
+	coarsePlane := int64(xc2) * int64(yc2) * 8
+	lo, hi := blockRange(zc, ctx.Procs(), proc)
+	for zz := lo; zz < hi; zz++ {
+		// Each coarse plane derives from / feeds two fine planes.
+		Read(ctx, m.r[fine], int64(2*zz)*finePlane, 2*finePlane)
+		if down {
+			Write(ctx, m.v[coarse], int64(zz)*coarsePlane, coarsePlane)
+		} else {
+			Read(ctx, m.u[coarse], int64(zz)*coarsePlane, coarsePlane)
+			Write(ctx, m.u[fine], int64(2*zz)*finePlane, 2*finePlane)
+		}
+		ctx.Compute(int64(xc2) * int64(yc2) * mgCyclesPerPoint)
+	}
+	ctx.Barrier()
+}
+
+// Run implements machine.Program.
+func (m *MG) Run(ctx *machine.Ctx, proc int) {
+	for it := 0; it < m.iters; it++ {
+		// Down the V: relax and restrict.
+		for l := 0; l < m.levels-1; l++ {
+			m.sweep(ctx, l, m.v[l], m.u[l], proc)    // relax
+			m.sweep(ctx, l, m.v[l], m.r[l], proc)    // residual
+			m.transferLevel(ctx, l, l+1, true, proc) // restrict
+		}
+		// Bottom solve: a few relaxations at the coarsest level.
+		for s := 0; s < 4; s++ {
+			m.sweep(ctx, m.levels-1, m.v[m.levels-1], m.u[m.levels-1], proc)
+		}
+		// Up the V: prolongate and relax.
+		for l := m.levels - 2; l >= 0; l-- {
+			m.transferLevel(ctx, l, l+1, false, proc) // prolongate
+			m.sweep(ctx, l, m.v[l], m.u[l], proc)     // relax
+		}
+		// Error estimate at the finest level into the work array.
+		m.sweep(ctx, 0, m.v[0], m.w, proc)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package workload
+
+// Record/replay: capture the operation stream an application issues on
+// one run and replay it later as a Program — the classic trace-driven
+// simulation facility. A recorded trace decouples the workload from its
+// generator: traces can be archived, diffed, filtered, or replayed on
+// differently configured machines (as long as the processor count
+// matches).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/machine"
+	"nwcache/internal/param"
+)
+
+// OpTrace is a recorded application: one operation stream per processor.
+type OpTrace struct {
+	TraceName string
+	Pages     int64
+	Ops       [][]machine.OpEvent // indexed by proc
+}
+
+// Name implements machine.Program.
+func (t *OpTrace) Name() string { return t.TraceName }
+
+// DataPages implements machine.Program.
+func (t *OpTrace) DataPages() int64 { return t.Pages }
+
+// Run implements machine.Program: replay proc's stream.
+func (t *OpTrace) Run(ctx *machine.Ctx, proc int) {
+	if proc >= len(t.Ops) {
+		return
+	}
+	for _, op := range t.Ops[proc] {
+		switch op.Kind {
+		case machine.OpTouch:
+			ctx.Touch(op.Page, op.Sub, op.Lines, op.Write)
+		case machine.OpCompute:
+			ctx.Compute(op.Cycles)
+		case machine.OpBarrier:
+			ctx.Barrier()
+		case machine.OpLockAcquire:
+			ctx.LockAcquire(op.Lock)
+		case machine.OpLockRelease:
+			ctx.LockRelease(op.Lock)
+		case machine.OpFileRead:
+			ctx.FileRead(op.Page, op.Pages)
+		case machine.OpFileWrite:
+			ctx.FileWrite(op.Page, op.Pages)
+		}
+	}
+}
+
+// TotalOps returns the number of recorded operations.
+func (t *OpTrace) TotalOps() int {
+	n := 0
+	for _, ops := range t.Ops {
+		n += len(ops)
+	}
+	return n
+}
+
+// Record runs prog on a machine built from cfg (standard kind, naive
+// prefetching — the substrate does not matter for the op stream, which is
+// identical on any machine because programs are deterministic) and
+// captures its operation streams.
+func Record(prog machine.Program, cfg param.Config) (*OpTrace, error) {
+	m, err := machine.New(cfg, machine.Standard, disk.Optimal)
+	if err != nil {
+		return nil, err
+	}
+	t := &OpTrace{
+		TraceName: prog.Name() + ".trace",
+		Pages:     prog.DataPages(),
+		Ops:       make([][]machine.OpEvent, cfg.Nodes),
+	}
+	m.OpLog = func(op machine.OpEvent) {
+		t.Ops[op.Proc] = append(t.Ops[op.Proc], op)
+	}
+	if _, err := m.Run(prog); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// opTraceMagic identifies the binary op-trace format.
+var opTraceMagic = [8]byte{'N', 'W', 'O', 'P', 'S', '0', '0', '1'}
+
+// Encode writes the trace in a compact binary format.
+func (t *OpTrace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(opTraceMagic[:]); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeStr(t.TraceName); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Pages); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Ops))); err != nil {
+		return err
+	}
+	for _, ops := range t.Ops {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(ops))); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			rec := []any{
+				uint8(op.Kind), op.Page, uint8(op.Sub), uint16(op.Lines),
+				boolByte(op.Write), op.Cycles, int32(op.Lock), int32(op.Pages),
+			}
+			for _, f := range rec {
+				if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOpTrace decodes a binary op trace.
+func ReadOpTrace(r io.Reader) (*OpTrace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading op-trace magic: %w", err)
+	}
+	if magic != opTraceMagic {
+		return nil, fmt.Errorf("workload: bad op-trace magic %q", magic)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("workload: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &OpTrace{TraceName: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &t.Pages); err != nil {
+		return nil, err
+	}
+	var procs uint32
+	if err := binary.Read(br, binary.LittleEndian, &procs); err != nil {
+		return nil, err
+	}
+	if procs > 1024 {
+		return nil, fmt.Errorf("workload: implausible proc count %d", procs)
+	}
+	t.Ops = make([][]machine.OpEvent, procs)
+	for p := range t.Ops {
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		const maxOps = 1 << 30
+		if count > maxOps {
+			return nil, fmt.Errorf("workload: implausible op count %d", count)
+		}
+		ops := make([]machine.OpEvent, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var (
+				kind, sub, wr uint8
+				lines         uint16
+				lock, pages   int32
+				op            machine.OpEvent
+			)
+			fields := []any{&kind, &op.Page, &sub, &lines, &wr, &op.Cycles, &lock, &pages}
+			for _, f := range fields {
+				if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+					return nil, fmt.Errorf("workload: proc %d op %d: %w", p, i, err)
+				}
+			}
+			op.Proc = p
+			op.Kind = machine.OpKind(kind)
+			op.Sub = int(sub)
+			op.Lines = int(lines)
+			op.Write = wr != 0
+			op.Lock = int(lock)
+			op.Pages = int(pages)
+			ops = append(ops, op)
+		}
+		t.Ops[p] = ops
+	}
+	return t, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/machine"
+)
+
+func TestRecordCapturesOps(t *testing.T) {
+	cfg := testCfg()
+	tr, err := Record(NewSeqScan(16, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalOps() == 0 {
+		t.Fatal("empty recording")
+	}
+	if len(tr.Ops) != cfg.Nodes {
+		t.Fatalf("streams %d, want %d", len(tr.Ops), cfg.Nodes)
+	}
+	// Each proc ends with a barrier (SeqScan's per-pass barrier).
+	for p, ops := range tr.Ops {
+		if len(ops) == 0 {
+			t.Fatalf("proc %d recorded nothing", p)
+		}
+		if ops[len(ops)-1].Kind != machine.OpBarrier {
+			t.Fatalf("proc %d last op %v, want barrier", p, ops[len(ops)-1].Kind)
+		}
+	}
+}
+
+func TestReplayReproducesOriginalRun(t *testing.T) {
+	cfg := testCfg()
+	orig := NewSeqScan(24, 2)
+	tr, err := Record(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p machine.Program) *machine.Result {
+		m, err := machine.New(cfg, machine.NWCache, disk.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(orig)
+	b := run(tr)
+	if a.ExecTime != b.ExecTime || a.Faults != b.Faults || a.SwapOuts != b.SwapOuts {
+		t.Fatalf("replay diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			a.ExecTime, a.Faults, a.SwapOuts, b.ExecTime, b.Faults, b.SwapOuts)
+	}
+}
+
+func TestOpTraceBinaryRoundTrip(t *testing.T) {
+	cfg := testCfg()
+	tr, err := Record(NewHotCold(4, 16, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOpTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceName != tr.TraceName || got.Pages != tr.Pages {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", got.TraceName, got.Pages, tr.TraceName, tr.Pages)
+	}
+	if got.TotalOps() != tr.TotalOps() {
+		t.Fatalf("ops %d vs %d", got.TotalOps(), tr.TotalOps())
+	}
+	for p := range tr.Ops {
+		for i := range tr.Ops[p] {
+			if got.Ops[p][i] != tr.Ops[p][i] {
+				t.Fatalf("proc %d op %d: %+v vs %+v", p, i, got.Ops[p][i], tr.Ops[p][i])
+			}
+		}
+	}
+}
+
+func TestOpTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadOpTrace(strings.NewReader("not a trace")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	tr := &OpTrace{TraceName: "x", Ops: [][]machine.OpEvent{{{Kind: machine.OpBarrier}}}}
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadOpTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReplayOnDifferentMachineKind(t *testing.T) {
+	// A trace recorded once replays on either machine kind: the recorded
+	// stream is substrate-independent.
+	cfg := testCfg()
+	tr, err := Record(NewSeqScan(24, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []machine.Kind{machine.Standard, machine.NWCache} {
+		m, err := machine.New(cfg, kind, disk.Optimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(tr)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.ExecTime <= 0 {
+			t.Fatalf("%v: empty replay", kind)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// SOR is the successive over-relaxation kernel of Table 2: 640x512 floats,
+// 10 iterations, Jacobi-style sweeps between two grids so every sweep
+// dirties its output rows. Rows are block-partitioned over the processors
+// with a barrier per iteration.
+type SOR struct {
+	rows, cols, iters int
+	a, b              Arr
+	pages             int64
+}
+
+// SOR cost model: cycles per grid point per relaxation (4 adds, 1 mul,
+// addressing).
+const sorCyclesPerPoint = 6
+
+// NewSOR builds the SOR program at the given scale (1.0 = paper input).
+func NewSOR(scale float64) *SOR {
+	rows := scaleDim(640, scale, 24)
+	cols := 512
+	var sp Space
+	rowBytes := int64(cols) * 4
+	s := &SOR{
+		rows:  rows,
+		cols:  cols,
+		iters: 10,
+	}
+	s.a = sp.Alloc("A", int64(rows)*rowBytes)
+	s.b = sp.Alloc("B", int64(rows)*rowBytes)
+	s.pages = sp.Pages()
+	return s
+}
+
+// Name implements machine.Program.
+func (s *SOR) Name() string { return "sor" }
+
+// DataPages implements machine.Program.
+func (s *SOR) DataPages() int64 { return s.pages }
+
+// Run implements machine.Program.
+func (s *SOR) Run(ctx *machine.Ctx, proc int) {
+	lo, hi := blockRange(s.rows, ctx.Procs(), proc)
+	rowBytes := int64(s.cols) * 4
+	src, dst := s.a, s.b
+	for it := 0; it < s.iters; it++ {
+		for r := lo; r < hi; r++ {
+			top := r - 1
+			if top < 0 {
+				top = 0
+			}
+			bot := r + 1
+			if bot >= s.rows {
+				bot = s.rows - 1
+			}
+			Read(ctx, src, int64(top)*rowBytes, rowBytes)
+			Read(ctx, src, int64(r)*rowBytes, rowBytes)
+			Read(ctx, src, int64(bot)*rowBytes, rowBytes)
+			Write(ctx, dst, int64(r)*rowBytes, rowBytes)
+			ctx.Compute(int64(s.cols) * sorCyclesPerPoint)
+		}
+		ctx.Barrier()
+		src, dst = dst, src
+	}
+}

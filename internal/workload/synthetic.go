@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+
+	"nwcache/internal/machine"
+)
+
+// Synthetic programs with sharply characterized access patterns. They are
+// not part of the paper's suite; they exist to stress specific simulator
+// mechanisms (victim caching, NACK flow control, sharing, randomness) in
+// tests, validation, and examples.
+
+// SeqScan streams through a working set sequentially, rewriting every
+// page, for a number of passes — the friendliest possible pattern for
+// sequential prefetching and LRU.
+type SeqScan struct {
+	pages  int64
+	passes int
+}
+
+// NewSeqScan builds a sequential scanner over `pages` pages.
+func NewSeqScan(pages int64, passes int) *SeqScan {
+	if pages < 1 || passes < 1 {
+		panic("workload: SeqScan needs >=1 page and pass")
+	}
+	return &SeqScan{pages: pages, passes: passes}
+}
+
+// Name implements machine.Program.
+func (s *SeqScan) Name() string { return "seqscan" }
+
+// DataPages implements machine.Program.
+func (s *SeqScan) DataPages() int64 { return s.pages }
+
+// Run implements machine.Program.
+func (s *SeqScan) Run(ctx *machine.Ctx, proc int) {
+	lo, hi := blockRange(int(s.pages), ctx.Procs(), proc)
+	for pass := 0; pass < s.passes; pass++ {
+		for pg := lo; pg < hi; pg++ {
+			for sub := 0; sub < 4; sub++ {
+				ctx.Read(PageID(pg), sub, 16)
+			}
+			ctx.Write(PageID(pg), 0, 16)
+			ctx.Compute(512)
+		}
+		ctx.Barrier()
+	}
+}
+
+// HotCold divides the working set into a small hot region (reaccessed
+// constantly, stays resident) and a large cold region cycled through once
+// per pass — a victim-cache-friendly pattern when the cold region
+// slightly exceeds memory.
+type HotCold struct {
+	hot, cold int64
+	passes    int
+}
+
+// NewHotCold builds the pattern: hot pages + cold pages.
+func NewHotCold(hot, cold int64, passes int) *HotCold {
+	return &HotCold{hot: hot, cold: cold, passes: passes}
+}
+
+// Name implements machine.Program.
+func (h *HotCold) Name() string { return "hotcold" }
+
+// DataPages implements machine.Program.
+func (h *HotCold) DataPages() int64 { return h.hot + h.cold }
+
+// Run implements machine.Program.
+func (h *HotCold) Run(ctx *machine.Ctx, proc int) {
+	hotLo, hotHi := blockRange(int(h.hot), ctx.Procs(), proc)
+	coldLo, coldHi := blockRange(int(h.cold), ctx.Procs(), proc)
+	for pass := 0; pass < h.passes; pass++ {
+		for c := coldLo; c < coldHi; c++ {
+			ctx.Write(h.hot+PageID(c), 0, 32)
+			// Interleave hot touches: two hot pages per cold page.
+			for k := 0; k < 2; k++ {
+				hp := hotLo + (c*2+k)%max(hotHi-hotLo, 1)
+				ctx.Read(PageID(hp), k%4, 8)
+			}
+			ctx.Compute(256)
+		}
+		ctx.Barrier()
+	}
+}
+
+// RandomStorm issues uniformly random page writes — the adversarial
+// pattern for every cache in the system: no stream to detect, no locality
+// to exploit, maximal NACK pressure.
+type RandomStorm struct {
+	pages int64
+	ops   int
+	seed  int64
+}
+
+// NewRandomStorm builds the storm: `ops` random writes per processor.
+func NewRandomStorm(pages int64, ops int, seed int64) *RandomStorm {
+	return &RandomStorm{pages: pages, ops: ops, seed: seed}
+}
+
+// Name implements machine.Program.
+func (r *RandomStorm) Name() string { return "randomstorm" }
+
+// DataPages implements machine.Program.
+func (r *RandomStorm) DataPages() int64 { return r.pages }
+
+// Run implements machine.Program.
+func (r *RandomStorm) Run(ctx *machine.Ctx, proc int) {
+	rng := rand.New(rand.NewSource(r.seed + int64(proc)*7121))
+	for i := 0; i < r.ops; i++ {
+		pg := PageID(rng.Int63n(r.pages))
+		if rng.Intn(2) == 0 {
+			ctx.Write(pg, rng.Intn(4), 8)
+		} else {
+			ctx.Read(pg, rng.Intn(4), 8)
+		}
+		ctx.Compute(int64(rng.Intn(200)))
+	}
+	ctx.Barrier()
+}
+
+// SharedHammer makes every processor read and write the same small set of
+// pages guarded by a lock — maximal page-table contention, TLB shootdown
+// traffic, and Transit waiting.
+type SharedHammer struct {
+	pages int64
+	iters int
+}
+
+// NewSharedHammer builds the pattern over a page set shared by all procs.
+func NewSharedHammer(pages int64, iters int) *SharedHammer {
+	return &SharedHammer{pages: pages, iters: iters}
+}
+
+// Name implements machine.Program.
+func (s *SharedHammer) Name() string { return "sharedhammer" }
+
+// DataPages implements machine.Program.
+func (s *SharedHammer) DataPages() int64 { return s.pages }
+
+// Run implements machine.Program.
+func (s *SharedHammer) Run(ctx *machine.Ctx, proc int) {
+	for it := 0; it < s.iters; it++ {
+		for pg := PageID(0); pg < s.pages; pg++ {
+			ctx.LockAcquire(int(pg))
+			ctx.Read(pg, 0, 8)
+			ctx.Write(pg, 1, 8)
+			ctx.LockRelease(int(pg))
+			ctx.Compute(128)
+		}
+		ctx.Barrier()
+	}
+}
+
+// Synthetics returns the synthetic program constructors keyed by name,
+// sized relative to the machine's total frame count.
+func Synthetics(totalFrames int64, seed int64) map[string]machine.Program {
+	return map[string]machine.Program{
+		"seqscan":      NewSeqScan(totalFrames*2, 3),
+		"hotcold":      NewHotCold(totalFrames/4, totalFrames, 3),
+		"randomstorm":  NewRandomStorm(totalFrames*2, 400, seed),
+		"sharedhammer": NewSharedHammer(8, 20),
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/machine"
+)
+
+func runSynthetic(t *testing.T, prog machine.Program, kind machine.Kind, mode disk.PrefetchMode) (*machine.Machine, *machine.Result) {
+	t.Helper()
+	cfg := testCfg()
+	m, err := machine.New(cfg, kind, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestSyntheticsRunAndHoldInvariants(t *testing.T) {
+	cfg := testCfg()
+	frames := int64(cfg.Nodes) * int64(cfg.FramesPerNode())
+	for name, prog := range Synthetics(frames, cfg.Seed) {
+		name, prog := name, prog
+		t.Run(name, func(t *testing.T) {
+			for _, kind := range []machine.Kind{machine.Standard, machine.NWCache} {
+				m, res := runSynthetic(t, prog, kind, disk.Naive)
+				if res.ExecTime <= 0 {
+					t.Fatalf("%s/%v: empty run", name, kind)
+				}
+				if err := m.CheckInvariants(true); err != nil {
+					t.Fatalf("%s/%v: invariant violated: %v", name, kind, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPaperSuiteHoldsInvariants(t *testing.T) {
+	cfg := testCfg()
+	for _, name := range Names() {
+		prog := Registry(cfg.Scale, cfg.Seed)[name]
+		for _, kind := range []machine.Kind{machine.Standard, machine.NWCache} {
+			m, err := machine.New(cfg, kind, disk.Optimal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(true); err != nil {
+				t.Fatalf("%s/%v: %v", name, kind, err)
+			}
+		}
+	}
+}
+
+func TestSeqScanPrefetchFriendly(t *testing.T) {
+	// Sequential scans should harvest some prefetch hits under naive
+	// prefetching even with two interleaved streams trashing the tiny
+	// 4-slot controller cache — the paper itself observes hit rates
+	// "never greater than 15%" for exactly this reason.
+	prog := NewSeqScan(64, 2)
+	_, res := runSynthetic(t, prog, machine.Standard, disk.Naive)
+	hitRate := float64(res.DiskHits) / float64(res.DiskHits+res.DiskMisses)
+	if hitRate < 0.08 {
+		t.Fatalf("sequential scan hit rate %.2f; prefetching broken?", hitRate)
+	}
+}
+
+func TestRandomStormDefeatsPrefetch(t *testing.T) {
+	seqProg := NewSeqScan(64, 2)
+	// A storm over a footprint far beyond memory has no temporal locality
+	// for any cache to exploit.
+	stormProg := NewRandomStorm(512, 600, 1)
+	_, seq := runSynthetic(t, seqProg, machine.Standard, disk.Naive)
+	_, storm := runSynthetic(t, stormProg, machine.Standard, disk.Naive)
+	seqRate := float64(seq.DiskHits) / float64(seq.DiskHits+seq.DiskMisses)
+	stormRate := float64(storm.DiskHits) / float64(storm.DiskHits+storm.DiskMisses)
+	if stormRate >= seqRate {
+		t.Fatalf("random storm hit rate %.2f >= sequential %.2f", stormRate, seqRate)
+	}
+}
+
+func TestHotColdKeepsHotResident(t *testing.T) {
+	// The hot region must fault far less than once per touch: LRU keeps it
+	// resident while the cold region cycles.
+	prog := NewHotCold(8, 64, 3)
+	_, res := runSynthetic(t, prog, machine.Standard, disk.Optimal)
+	// Worst case would be a fault per operation; require much less.
+	if res.Faults > uint64(prog.DataPages())*6 {
+		t.Fatalf("faults %d: hot set not staying resident", res.Faults)
+	}
+}
+
+func TestSharedHammerGeneratesSharingTraffic(t *testing.T) {
+	prog := NewSharedHammer(8, 10)
+	_, res := runSynthetic(t, prog, machine.Standard, disk.Naive)
+	if res.RemoteAccs == 0 {
+		t.Fatal("no remote accesses despite full sharing")
+	}
+	if res.Faults == 0 {
+		t.Fatal("no faults")
+	}
+}
+
+func TestSyntheticConstructorsValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero pages")
+		}
+	}()
+	NewSeqScan(0, 1)
+}
