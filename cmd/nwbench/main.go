@@ -5,6 +5,7 @@
 // Usage:
 //
 //	nwbench [-scale 1.0] [-seed 1] [-table N | -figure N | -all] [-q]
+//	        [-j N] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
 //
 // With no selection flags, everything is printed (-all).
 package main
@@ -14,30 +15,47 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp"
+	"nwcache/internal/exp/pool"
 	"nwcache/internal/stats"
 )
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
-		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
-		tableN   = flag.Int("table", 0, "print only table N (2-8)")
-		figureN  = flag.Int("figure", 0, "print only figure N (3 or 4)")
-		all      = flag.Bool("all", false, "print every table and figure")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		format   = flag.String("format", "text", "output format: text or csv")
-		report   = flag.Bool("report", false, "emit a markdown paper-vs-measured report")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently")
+		scale      = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
+		seed       = flag.Int64("seed", 1, "deterministic simulation seed")
+		tableN     = flag.Int("table", 0, "print only table N (2-8)")
+		figureN    = flag.Int("figure", 0, "print only figure N (3 or 4)")
+		all        = flag.Bool("all", false, "print every table and figure")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		format     = flag.String("format", "text", "output format: text or csv")
+		report     = flag.Bool("report", false, "emit a markdown paper-vs-measured report")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.IntVar(jobs, "parallel", runtime.GOMAXPROCS(0), "alias for -j")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	cfg := core.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
-	suite := exp.NewSuite(cfg)
+	suite := exp.NewSuiteOn(cfg, pool.New(*jobs))
 	if !*quiet {
 		suite.Progress = func(label string) {
 			fmt.Fprintf(os.Stderr, "running %s...\n", label)
@@ -45,7 +63,7 @@ func main() {
 	}
 
 	if *report {
-		if err := suite.Prewarm(*parallel); err != nil {
+		if err := suite.Prewarm(*jobs); err != nil {
 			fatal(err)
 		}
 		if err := suite.Report(os.Stdout); err != nil {
@@ -57,7 +75,7 @@ func main() {
 		*all = true
 	}
 	if *all {
-		if err := suite.Prewarm(*parallel); err != nil {
+		if err := suite.Prewarm(*jobs); err != nil {
 			fatal(err)
 		}
 		var err error
@@ -123,4 +141,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nwbench:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap into path (no-op when empty). A GC
+// runs first so the profile reflects live objects, not garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "nwbench:", err)
+	}
 }

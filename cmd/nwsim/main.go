@@ -11,24 +11,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"nwcache/internal/core"
+	"nwcache/internal/exp/pool"
 	"nwcache/internal/param"
 )
 
 func main() {
 	cfg := core.DefaultConfig()
 	var (
-		app      = flag.String("app", "lu", "application: "+strings.Join(core.Apps(), ", "))
-		machineF = flag.String("machine", "nwcache", "machine kind: standard or nwcache")
-		prefetch = flag.String("prefetch", "optimal", "prefetch mode: naive, optimal, or streamed")
-		minFree  = flag.Int("minfree", 0, "min free frames (0 = paper's per-configuration choice)")
-		cfgFile  = flag.String("config", "", "JSON config file (flags override its values)")
-		dumpCfg  = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
-		util     = flag.Bool("util", false, "also print per-resource utilization")
-		seeds    = flag.Int("seeds", 1, "run N seeds and report mean/min/max execution time")
+		app        = flag.String("app", "lu", "application: "+strings.Join(core.Apps(), ", "))
+		machineF   = flag.String("machine", "nwcache", "machine kind: standard or nwcache")
+		prefetch   = flag.String("prefetch", "optimal", "prefetch mode: naive, optimal, or streamed")
+		minFree    = flag.Int("minfree", 0, "min free frames (0 = paper's per-configuration choice)")
+		cfgFile    = flag.String("config", "", "JSON config file (flags override its values)")
+		dumpCfg    = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+		util       = flag.Bool("util", false, "also print per-resource utilization")
+		seeds      = flag.Int("seeds", 1, "run N seeds and report mean/min/max execution time")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent seed runs (with -seeds)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Float64Var(&cfg.Scale, "scale", 1.0, "workload scale (1.0 = paper inputs)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
@@ -39,6 +45,18 @@ func main() {
 	flag.IntVar(&cfg.SwapQueueDepth, "swapdepth", cfg.SwapQueueDepth, "outstanding swap-outs per node")
 	flag.BoolVar(&cfg.DCD, "dcd", cfg.DCD, "attach a Disk Caching Disk log to each disk (§6 baseline)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	if *cfgFile != "" {
 		loaded, err := param.LoadFile(*cfgFile)
@@ -103,7 +121,7 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		agg, err := core.RunSeeds(*app, kind, mode, cfg, *seeds)
+		agg, err := pool.RunSeeds(pool.New(*jobs), *app, kind, mode, cfg, *seeds)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,4 +158,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nwsim:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile snapshots the heap into path (no-op when empty). A GC
+// runs first so the profile reflects live objects, not garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwsim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "nwsim:", err)
+	}
 }

@@ -17,15 +17,19 @@
 //	-sweep baseline   Standard vs Standard+DCD (§6) vs NWCache
 //
 // Each sweep prints one table of execution times (Mpcycles) per
-// application.
+// application. Simulations are scheduled on a shared worker pool (-j);
+// cells shared between columns (or repeated invocations of the same
+// process) run exactly once.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"nwcache/internal/core"
+	"nwcache/internal/exp/pool"
 	"nwcache/internal/stats"
 )
 
@@ -37,6 +41,7 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all)")
 		prefetch = flag.String("prefetch", "optimal", "prefetch mode for the sweep: naive or optimal")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
 	)
 	flag.Parse()
 
@@ -52,21 +57,44 @@ func main() {
 	if *apps != "" {
 		list = splitComma(*apps)
 	}
+	sched := pool.New(*jobs)
 	progress := func(label string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "running %s...\n", label)
 		}
 	}
 
-	run := func(app string, kind core.Kind, cfg core.Config) float64 {
-		progress(fmt.Sprintf("%s/%s", app, kind))
-		res, err := core.Run(app, kind, mode, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nwsweep:", err)
-			os.Exit(1)
+	// grid simulates one cell per (application, column): the whole grid is
+	// submitted to the pool before any result is collected, so up to -j
+	// cells run concurrently, and results come back in deterministic
+	// (row, column) order regardless of completion order.
+	grid := func(cols int, cell func(app string, col int) core.Cell) [][]*core.Result {
+		futs := make([][]*pool.Future, len(list))
+		for i, app := range list {
+			futs[i] = make([]*pool.Future, cols)
+			for c := 0; c < cols; c++ {
+				cl := cell(app, c)
+				f, fresh := sched.Submit(cl)
+				if fresh {
+					progress(cl.Label())
+				}
+				futs[i][c] = f
+			}
 		}
-		return float64(res.ExecTime) / 1e6
+		out := make([][]*core.Result, len(list))
+		for i := range futs {
+			out[i] = make([]*core.Result, cols)
+			for c, f := range futs[i] {
+				res, err := f.Wait()
+				if err != nil {
+					fatal(err)
+				}
+				out[i][c] = res
+			}
+		}
+		return out
 	}
+	mpc := func(r *core.Result) string { return stats.FmtF(float64(r.ExecTime)/1e6, 1) }
 
 	switch *sweep {
 	case "minfree":
@@ -76,12 +104,15 @@ func main() {
 				Title:   fmt.Sprintf("Min-free-frames sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
 				Headers: append([]string{"Application"}, intHeaders(points)...),
 			}
-			for _, app := range list {
+			res := grid(len(points), func(app string, c int) core.Cell {
+				cfg := base
+				cfg.MinFreeFrames = points[c]
+				return core.Cell{App: app, Kind: kind, Mode: mode, Cfg: cfg}
+			})
+			for i, app := range list {
 				row := []string{app}
-				for _, mf := range points {
-					cfg := base
-					cfg.MinFreeFrames = mf
-					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				for c := range points {
+					row = append(row, mpc(res[i][c]))
 				}
 				t.AddRow(row...)
 			}
@@ -92,22 +123,27 @@ func main() {
 		// The paper: "a standard multiprocessor often requires a huge
 		// amount of disk controller cache capacity to approach the
 		// performance of our system." Sweep the standard machine's cache
-		// and print the NWCache (16KB cache) reference.
+		// and print the NWCache (16KB cache) reference in the last column.
 		sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 		t := &stats.Table{
 			Title: fmt.Sprintf("Disk-cache sweep, standard machine, %s prefetching (exec Mpcycles)", mode),
 			Headers: append(append([]string{"Application"}, byteHeaders(sizes)...),
 				"NWCache@16KB"),
 		}
-		for _, app := range list {
-			row := []string{app}
-			for _, sz := range sizes {
-				cfg := core.ApplyPaperMinFree(base, core.Standard, mode)
-				cfg.DiskCacheBytes = sz
-				row = append(row, stats.FmtF(run(app, core.Standard, cfg), 1))
+		res := grid(len(sizes)+1, func(app string, c int) core.Cell {
+			if c == len(sizes) {
+				return core.Cell{App: app, Kind: core.NWCache, Mode: mode,
+					Cfg: core.ApplyPaperMinFree(base, core.NWCache, mode)}
 			}
-			cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
-			row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			cfg := core.ApplyPaperMinFree(base, core.Standard, mode)
+			cfg.DiskCacheBytes = sizes[c]
+			return core.Cell{App: app, Kind: core.Standard, Mode: mode, Cfg: cfg}
+		})
+		for i, app := range list {
+			row := []string{app}
+			for c := 0; c <= len(sizes); c++ {
+				row = append(row, mpc(res[i][c]))
+			}
 			t.AddRow(row...)
 		}
 		fmt.Println(t)
@@ -118,12 +154,15 @@ func main() {
 			Title:   fmt.Sprintf("Per-channel optical storage sweep, NWCache machine, %s prefetching (exec Mpcycles)", mode),
 			Headers: append([]string{"Application"}, byteHeaders(sizes)...),
 		}
-		for _, app := range list {
+		res := grid(len(sizes), func(app string, c int) core.Cell {
+			cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+			cfg.RingChanBytes = sizes[c]
+			return core.Cell{App: app, Kind: core.NWCache, Mode: mode, Cfg: cfg}
+		})
+		for i, app := range list {
 			row := []string{app}
-			for _, sz := range sizes {
-				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
-				cfg.RingChanBytes = sz
-				row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			for c := range sizes {
+				row = append(row, mpc(res[i][c]))
 			}
 			t.AddRow(row...)
 		}
@@ -136,12 +175,15 @@ func main() {
 				Title:   fmt.Sprintf("Swap-queue-depth sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
 				Headers: append([]string{"Application"}, intHeaders(depths)...),
 			}
-			for _, app := range list {
+			res := grid(len(depths), func(app string, c int) core.Cell {
+				cfg := core.ApplyPaperMinFree(base, kind, mode)
+				cfg.SwapQueueDepth = depths[c]
+				return core.Cell{App: app, Kind: kind, Mode: mode, Cfg: cfg}
+			})
+			for i, app := range list {
 				row := []string{app}
-				for _, d := range depths {
-					cfg := core.ApplyPaperMinFree(base, kind, mode)
-					cfg.SwapQueueDepth = d
-					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				for c := range depths {
+					row = append(row, mpc(res[i][c]))
 				}
 				t.AddRow(row...)
 			}
@@ -157,12 +199,15 @@ func main() {
 				Title:   fmt.Sprintf("Write-buffer sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
 				Headers: append([]string{"Application"}, intHeaders(depths)...),
 			}
-			for _, app := range list {
+			res := grid(len(depths), func(app string, c int) core.Cell {
+				cfg := core.ApplyPaperMinFree(base, kind, mode)
+				cfg.WriteBufferDepth = depths[c]
+				return core.Cell{App: app, Kind: kind, Mode: mode, Cfg: cfg}
+			})
+			for i, app := range list {
 				row := []string{app}
-				for _, d := range depths {
-					cfg := core.ApplyPaperMinFree(base, kind, mode)
-					cfg.WriteBufferDepth = d
-					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				for c := range depths {
+					row = append(row, mpc(res[i][c]))
 				}
 				t.AddRow(row...)
 			}
@@ -180,16 +225,20 @@ func main() {
 				Title:   fmt.Sprintf("Machine-size sweep, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
 				Headers: []string{"Application", "4", "8", "16", "32"},
 			}
-			for _, app := range list {
+			res := grid(len(shapes), func(app string, c int) core.Cell {
+				sh := shapes[c]
+				cfg := core.ApplyPaperMinFree(base, kind, mode)
+				cfg.Nodes = sh.nodes
+				cfg.MeshW = sh.w
+				cfg.MeshH = sh.h
+				cfg.IONodes = sh.io
+				cfg.RingChannels = sh.nodes
+				return core.Cell{App: app, Kind: kind, Mode: mode, Cfg: cfg}
+			})
+			for i, app := range list {
 				row := []string{app}
-				for _, sh := range shapes {
-					cfg := core.ApplyPaperMinFree(base, kind, mode)
-					cfg.Nodes = sh.nodes
-					cfg.MeshW = sh.w
-					cfg.MeshH = sh.h
-					cfg.IONodes = sh.io
-					cfg.RingChannels = sh.nodes
-					row = append(row, stats.FmtF(run(app, kind, cfg), 1))
+				for c := range shapes {
+					row = append(row, mpc(res[i][c]))
 				}
 				t.AddRow(row...)
 			}
@@ -204,12 +253,15 @@ func main() {
 			Title:   fmt.Sprintf("Channel-count sweep (OTDM extension), NWCache machine, %s prefetching (exec Mpcycles)", mode),
 			Headers: append([]string{"Application"}, intHeaders(counts)...),
 		}
-		for _, app := range list {
+		res := grid(len(counts), func(app string, c int) core.Cell {
+			cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
+			cfg.RingChannels = counts[c]
+			return core.Cell{App: app, Kind: core.NWCache, Mode: mode, Cfg: cfg}
+		})
+		for i, app := range list {
 			row := []string{app}
-			for _, nch := range counts {
-				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
-				cfg.RingChannels = nch
-				row = append(row, stats.FmtF(run(app, core.NWCache, cfg), 1))
+			for c := range counts {
+				row = append(row, mpc(res[i][c]))
 			}
 			t.AddRow(row...)
 		}
@@ -219,25 +271,24 @@ func main() {
 		// Standard vs Standard+DCD (the §6 related-work design) vs
 		// NWCache: where does the optical write cache sit relative to a
 		// log-disk write cache?
+		variants := []struct {
+			kind core.Kind
+			dcd  bool
+		}{{core.Standard, false}, {core.Standard, true}, {core.NWCache, false}}
 		t := &stats.Table{
 			Title:   fmt.Sprintf("Write-buffering baselines, %s prefetching (exec Mpcycles)", mode),
 			Headers: []string{"Application", "Standard", "Standard+DCD", "NWCache"},
 		}
-		for _, app := range list {
+		res := grid(len(variants), func(app string, c int) core.Cell {
+			v := variants[c]
+			cfg := core.ApplyPaperMinFree(base, v.kind, mode)
+			cfg.DCD = v.dcd
+			return core.Cell{App: app, Kind: v.kind, Mode: mode, Cfg: cfg}
+		})
+		for i, app := range list {
 			row := []string{app}
-			for _, variant := range []struct {
-				kind core.Kind
-				dcd  bool
-			}{{core.Standard, false}, {core.Standard, true}, {core.NWCache, false}} {
-				cfg := core.ApplyPaperMinFree(base, variant.kind, mode)
-				cfg.DCD = variant.dcd
-				progress(fmt.Sprintf("%s/%s dcd=%v", app, variant.kind, variant.dcd))
-				res, err := core.Run(app, variant.kind, mode, cfg)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "nwsweep:", err)
-					os.Exit(1)
-				}
-				row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
+			for c := range variants {
+				row = append(row, mpc(res[i][c]))
 			}
 			t.AddRow(row...)
 		}
@@ -245,31 +296,23 @@ func main() {
 
 	case "armsched":
 		// Ablation: FCFS disk mechanism vs demand-reads-before-writebacks
-		// priority scheduling.
+		// priority scheduling. Columns 0/1 are prio=false/true; both the
+		// execution time and the average swap-out time are reported.
 		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
 			t := &stats.Table{
 				Title:   fmt.Sprintf("Arm-scheduling ablation, %s machine, %s prefetching (exec Mpcycles)", kind, mode),
 				Headers: []string{"Application", "FCFS", "ReadPriority", "AvgSwap FCFS (Kpc)", "AvgSwap Prio (Kpc)"},
 			}
-			for _, app := range list {
-				row := []string{app}
-				var execs []float64
-				var swaps []float64
-				for _, prio := range []bool{false, true} {
-					cfg := core.ApplyPaperMinFree(base, kind, mode)
-					cfg.DiskReadPriority = prio
-					progress(fmt.Sprintf("%s/%s prio=%v", app, kind, prio))
-					res, err := core.Run(app, kind, mode, cfg)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "nwsweep:", err)
-						os.Exit(1)
-					}
-					execs = append(execs, float64(res.ExecTime)/1e6)
-					swaps = append(swaps, res.AvgSwapTime/1e3)
-				}
-				row = append(row, stats.FmtF(execs[0], 1), stats.FmtF(execs[1], 1),
-					stats.FmtF(swaps[0], 1), stats.FmtF(swaps[1], 1))
-				t.AddRow(row...)
+			res := grid(2, func(app string, c int) core.Cell {
+				cfg := core.ApplyPaperMinFree(base, kind, mode)
+				cfg.DiskReadPriority = c == 1
+				return core.Cell{App: app, Kind: kind, Mode: mode, Cfg: cfg}
+			})
+			for i, app := range list {
+				fcfs, prio := res[i][0], res[i][1]
+				t.AddRow(app,
+					mpc(fcfs), mpc(prio),
+					stats.FmtF(fcfs.AvgSwapTime/1e3, 1), stats.FmtF(prio.AvgSwapTime/1e3, 1))
 			}
 			fmt.Println(t)
 		}
@@ -277,22 +320,21 @@ func main() {
 	case "prefetch":
 		// Extension: the Streamed mode should land between the paper's
 		// naive and optimal extremes (§5, Discussion).
+		modes := []core.PrefetchMode{core.Naive, core.Streamed, core.Optimal}
 		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
 			t := &stats.Table{
 				Title:   fmt.Sprintf("Prefetch-mode comparison, %s machine (exec Mpcycles)", kind),
 				Headers: []string{"Application", "Naive", "Streamed", "Optimal"},
 			}
-			for _, app := range list {
+			res := grid(len(modes), func(app string, c int) core.Cell {
+				pm := modes[c]
+				return core.Cell{App: app, Kind: kind, Mode: pm,
+					Cfg: core.ApplyPaperMinFree(base, kind, pm)}
+			})
+			for i, app := range list {
 				row := []string{app}
-				for _, pm := range []core.PrefetchMode{core.Naive, core.Streamed, core.Optimal} {
-					cfg := core.ApplyPaperMinFree(base, kind, pm)
-					progress(fmt.Sprintf("%s/%s/%s", app, kind, pm))
-					res, err := core.Run(app, kind, pm, cfg)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "nwsweep:", err)
-						os.Exit(1)
-					}
-					row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
+				for c := range modes {
+					row = append(row, mpc(res[i][c]))
 				}
 				t.AddRow(row...)
 			}
@@ -304,19 +346,12 @@ func main() {
 			Title:   fmt.Sprintf("Drain-policy ablation, NWCache machine, %s prefetching (exec Mpcycles)", mode),
 			Headers: []string{"Application", "MostLoaded", "RoundRobin"},
 		}
-		for _, app := range list {
-			row := []string{app}
-			for _, rr := range []bool{false, true} {
-				cfg := core.ApplyPaperMinFree(base, core.NWCache, mode)
-				progress(fmt.Sprintf("%s/drain rr=%v", app, rr))
-				res, err := core.RunDrainPolicy(app, mode, cfg, rr)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "nwsweep:", err)
-					os.Exit(1)
-				}
-				row = append(row, stats.FmtF(float64(res.ExecTime)/1e6, 1))
-			}
-			t.AddRow(row...)
+		res := grid(2, func(app string, c int) core.Cell {
+			return core.Cell{App: app, Kind: core.NWCache, Mode: mode, RRDrain: c == 1,
+				Cfg: core.ApplyPaperMinFree(base, core.NWCache, mode)}
+		})
+		for i, app := range list {
+			t.AddRow(app, mpc(res[i][0]), mpc(res[i][1]))
 		}
 		fmt.Println(t)
 
@@ -324,6 +359,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nwsweep: unknown sweep %q\n", *sweep)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwsweep:", err)
+	os.Exit(1)
 }
 
 func splitComma(s string) []string {

@@ -15,6 +15,9 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"nwcache/internal/disk"
@@ -122,6 +125,53 @@ func RunProgram(prog Program, kind Kind, mode PrefetchMode, cfg Config) (*Result
 // the substrate state after a run (e.g. disk or ring statistics).
 func NewMachine(cfg Config, kind Kind, mode PrefetchMode) (*machine.Machine, error) {
 	return machine.New(cfg, kind, mode)
+}
+
+// Cell identifies one simulation of the evaluation space completely: a
+// built-in application, a machine kind, a prefetch mode, the full
+// configuration, and any ablation switches. Cells are the unit of
+// scheduling and memoization for the experiment harness (internal/exp and
+// internal/exp/pool): two cells with equal Keys produce bit-identical
+// Results, so one simulation can serve every table, figure, and sweep that
+// asks for it.
+type Cell struct {
+	App     string
+	Kind    Kind
+	Mode    PrefetchMode
+	RRDrain bool // run the NWCache drain-policy ablation (round-robin)
+	Cfg     Config
+}
+
+// Run executes the cell on a fresh machine.
+func (c Cell) Run() (*Result, error) {
+	if c.RRDrain {
+		return RunDrainPolicy(c.App, c.Mode, c.Cfg, true)
+	}
+	return Run(c.App, c.Kind, c.Mode, c.Cfg)
+}
+
+// Key returns a canonical hash of everything that can influence the
+// cell's result. Config marshals with a fixed field order, so equal
+// configurations always hash equally.
+func (c Cell) Key() string {
+	blob, err := json.Marshal(c.Cfg)
+	if err != nil {
+		// Config is a plain struct of scalars; this cannot happen.
+		panic(fmt.Sprintf("core: hashing config: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%d|%t|", c.App, c.Kind, c.Mode, c.RRDrain)
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Label renders the cell for progress reporting.
+func (c Cell) Label() string {
+	l := fmt.Sprintf("%s / %s / %s", c.App, c.Kind, c.Mode)
+	if c.RRDrain {
+		l += " / rr-drain"
+	}
+	return l
 }
 
 // SeedAggregate summarizes runs of the same configuration across seeds.

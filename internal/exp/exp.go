@@ -11,105 +11,94 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"nwcache/internal/core"
+	"nwcache/internal/exp/pool"
 	"nwcache/internal/stats"
 	"nwcache/internal/workload"
 )
 
-// cellKey identifies one simulation run.
-type cellKey struct {
-	app  string
-	kind core.Kind
-	mode core.PrefetchMode
-}
-
-// Suite runs and caches the evaluation matrix.
+// Suite runs and caches the evaluation matrix. All simulations go through
+// a shared pool.Pool, so identical cells requested by different tables
+// (or by a concurrent sweep sharing the same pool) run exactly once.
 type Suite struct {
-	cfg     core.Config
-	results map[cellKey]*core.Result
-	// Progress, if set, is called before each simulation with a label.
+	cfg   core.Config
+	sched *pool.Pool
+	// Progress, if set, is called with a label for each simulation that
+	// is actually started (cache hits are silent).
 	Progress func(label string)
 }
 
 // NewSuite creates an empty suite over the given base configuration. The
 // minimum-free-frames floor is overridden per cell with the paper's
-// choices (see core.PaperMinFree).
+// choices (see core.PaperMinFree). The suite schedules on a private pool
+// sized GOMAXPROCS; use NewSuiteOn to share a pool (and its memo cache)
+// with other consumers or to bound concurrency differently.
 func NewSuite(cfg core.Config) *Suite {
-	return &Suite{cfg: cfg, results: make(map[cellKey]*core.Result)}
+	return &Suite{cfg: cfg}
+}
+
+// NewSuiteOn creates a suite scheduling on the given pool.
+func NewSuiteOn(cfg core.Config, p *pool.Pool) *Suite {
+	return &Suite{cfg: cfg, sched: p}
+}
+
+// pool returns the suite's scheduler, creating the default one on first
+// use.
+func (s *Suite) pool() *pool.Pool {
+	if s.sched == nil {
+		s.sched = pool.New(0)
+	}
+	return s.sched
+}
+
+// cell builds the pool cell for one matrix coordinate, applying the
+// paper's per-configuration minimum-free-frames floor.
+func (s *Suite) cell(app string, kind core.Kind, mode core.PrefetchMode) core.Cell {
+	return core.Cell{App: app, Kind: kind, Mode: mode,
+		Cfg: core.ApplyPaperMinFree(s.cfg, kind, mode)}
+}
+
+// submit schedules one cell, reporting progress if it is fresh work.
+func (s *Suite) submit(app string, kind core.Kind, mode core.PrefetchMode) *pool.Future {
+	c := s.cell(app, kind, mode)
+	f, fresh := s.pool().Submit(c)
+	if fresh && s.Progress != nil {
+		s.Progress(c.Label())
+	}
+	return f
 }
 
 // Prewarm runs every cell of the evaluation matrix, up to `parallel`
 // simulations concurrently (each simulation is single-threaded and fully
 // independent, so this is safe and near-linear). Subsequent table
-// generation is then instantaneous.
+// generation is then instantaneous. If the suite was built with NewSuite,
+// the first Prewarm fixes the pool's concurrency bound.
 func (s *Suite) Prewarm(parallel int) error {
-	if parallel < 1 {
-		parallel = 1
+	if s.sched == nil {
+		s.sched = pool.New(parallel)
 	}
-	type cell struct {
-		app  string
-		kind core.Kind
-		mode core.PrefetchMode
-	}
-	var cells []cell
+	var futs []*pool.Future
 	for _, app := range s.Apps() {
 		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
 			for _, mode := range []core.PrefetchMode{core.Naive, core.Optimal} {
-				if _, done := s.results[cellKey{app, kind, mode}]; !done {
-					cells = append(cells, cell{app, kind, mode})
-				}
+				futs = append(futs, s.submit(app, kind, mode))
 			}
 		}
 	}
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	// Collect in submission order so the first error is deterministic.
 	var firstErr error
-	for _, c := range cells {
-		c := c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if s.Progress != nil {
-				s.Progress(fmt.Sprintf("%s / %s / %s", c.app, c.kind, c.mode))
-			}
-			cfg := core.ApplyPaperMinFree(s.cfg, c.kind, c.mode)
-			r, err := core.Run(c.app, c.kind, c.mode, cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			s.results[cellKey{c.app, c.kind, c.mode}] = r
-		}()
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	wg.Wait()
 	return firstErr
 }
 
 // Get runs (or returns the cached) cell.
 func (s *Suite) Get(app string, kind core.Kind, mode core.PrefetchMode) (*core.Result, error) {
-	key := cellKey{app, kind, mode}
-	if r, ok := s.results[key]; ok {
-		return r, nil
-	}
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("%s / %s / %s", app, kind, mode))
-	}
-	cfg := core.ApplyPaperMinFree(s.cfg, kind, mode)
-	r, err := core.Run(app, kind, mode, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.results[key] = r
-	return r, nil
+	return s.submit(app, kind, mode).Wait()
 }
 
 // Apps returns the application list in paper order.

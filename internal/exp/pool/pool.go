@@ -1,0 +1,138 @@
+// Package pool schedules simulation cells onto a bounded shared worker
+// pool with a memoizing result cache.
+//
+// Every consumer of the evaluation matrix — the table/figure harness
+// (internal/exp), cmd/nwbench, cmd/nwsweep, cmd/nwsim's multi-seed mode —
+// funnels its runs through one Pool, so (1) total simulation concurrency
+// is bounded once (the -j flag) no matter how many tables fan out, and
+// (2) identical cells are simulated exactly once: the cache is keyed by
+// core.Cell.Key, a canonical hash of the application, machine kind,
+// prefetch mode, ablation switches, and the full configuration.
+//
+// Each simulation is single-threaded and shares no state with its
+// siblings, and results are deterministic functions of the cell key, so
+// parallel execution cannot perturb any reported number: callers submit
+// cells in any order and collect futures in a deterministic order.
+package pool
+
+import (
+	"runtime"
+	"sync"
+
+	"nwcache/internal/core"
+)
+
+// Future is the pending (or completed) result of one cell.
+type Future struct {
+	cell core.Cell
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// Cell returns the cell this future computes.
+func (f *Future) Cell() core.Cell { return f.cell }
+
+// Wait blocks until the cell has been simulated and returns its result.
+// Every caller of Wait on the same future receives the same *Result.
+func (f *Future) Wait() (*core.Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Pool is a bounded worker pool with a cell-key memo cache. The zero Pool
+// is not usable; construct with New.
+type Pool struct {
+	sem  chan struct{}
+	mu   sync.Mutex
+	memo map[string]*Future
+	runs int
+	hits int
+}
+
+// New returns a pool running at most workers simulations concurrently.
+// workers < 1 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[string]*Future),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Submit schedules the cell for simulation and returns its future
+// immediately. fresh reports whether this call started a new simulation
+// (false: the cell was already cached or in flight). Submit never blocks
+// on simulation work.
+func (p *Pool) Submit(c core.Cell) (f *Future, fresh bool) {
+	key := c.Key()
+	p.mu.Lock()
+	if f = p.memo[key]; f != nil {
+		p.hits++
+		p.mu.Unlock()
+		return f, false
+	}
+	f = &Future{cell: c, done: make(chan struct{})}
+	p.memo[key] = f
+	p.runs++
+	p.mu.Unlock()
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.res, f.err = c.Run()
+		close(f.done)
+	}()
+	return f, true
+}
+
+// Run submits the cell and waits for its result.
+func (p *Pool) Run(c core.Cell) (*core.Result, error) {
+	f, _ := p.Submit(c)
+	return f.Wait()
+}
+
+// Stats reports how many distinct simulations were started and how many
+// submissions were served from the memo cache.
+func (p *Pool) Stats() (runs, hits int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs, p.hits
+}
+
+// RunSeeds executes the application once per seed (cfg.Seed, cfg.Seed+1,
+// ...) through the pool and aggregates the results exactly like
+// core.RunSeeds: futures are collected in seed order, so the aggregate is
+// bit-identical to a sequential run.
+func RunSeeds(p *Pool, app string, kind core.Kind, mode core.PrefetchMode, cfg core.Config, n int) (*core.SeedAggregate, error) {
+	if n < 1 {
+		n = 1
+	}
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i)
+		futs[i], _ = p.Submit(core.Cell{App: app, Kind: kind, Mode: mode, Cfg: runCfg})
+	}
+	agg := &core.SeedAggregate{Runs: n, MinExec: 1<<63 - 1}
+	for _, f := range futs {
+		res, err := f.Wait()
+		if err != nil {
+			return nil, err
+		}
+		agg.MeanExec += float64(res.ExecTime) / float64(n)
+		agg.MeanRingHitRate += res.RingHitRate / float64(n)
+		agg.MeanSwapTime += res.AvgSwapTime / float64(n)
+		if res.ExecTime < agg.MinExec {
+			agg.MinExec = res.ExecTime
+		}
+		if res.ExecTime > agg.MaxExec {
+			agg.MaxExec = res.ExecTime
+		}
+	}
+	return agg, nil
+}

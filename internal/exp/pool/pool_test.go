@@ -1,0 +1,149 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"nwcache/internal/core"
+)
+
+func fastCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Seed = 1
+	return cfg
+}
+
+func cell(app string, kind core.Kind, mode core.PrefetchMode) core.Cell {
+	return core.Cell{App: app, Kind: kind, Mode: mode,
+		Cfg: core.ApplyPaperMinFree(fastCfg(), kind, mode)}
+}
+
+func TestSubmitMemoizes(t *testing.T) {
+	p := New(2)
+	c := cell("lu", core.Standard, core.Optimal)
+	f1, fresh1 := p.Submit(c)
+	f2, fresh2 := p.Submit(c)
+	if !fresh1 || fresh2 {
+		t.Fatalf("fresh = %v, %v, want true, false", fresh1, fresh2)
+	}
+	r1, err := f1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("memoized submissions returned different result pointers")
+	}
+	if runs, hits := p.Stats(); runs != 1 || hits != 1 {
+		t.Fatalf("Stats = (%d runs, %d hits), want (1, 1)", runs, hits)
+	}
+}
+
+func TestConcurrentSubmitRunsOnce(t *testing.T) {
+	p := New(4)
+	c := cell("gauss", core.NWCache, core.Naive)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Run(c); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs, _ := p.Stats(); runs != 1 {
+		t.Fatalf("runs = %d, want 1", runs)
+	}
+}
+
+func TestCellKeyDiscriminates(t *testing.T) {
+	base := cell("lu", core.NWCache, core.Optimal)
+	same := cell("lu", core.NWCache, core.Optimal)
+	if base.Key() != same.Key() {
+		t.Fatal("equal cells hash differently")
+	}
+	variants := []core.Cell{
+		cell("gauss", core.NWCache, core.Optimal),
+		cell("lu", core.Standard, core.Optimal),
+		cell("lu", core.NWCache, core.Naive),
+		{App: "lu", Kind: core.NWCache, Mode: core.Optimal, RRDrain: true, Cfg: base.Cfg},
+	}
+	cfgVar := base
+	cfgVar.Cfg.Scale = 0.06
+	variants = append(variants, cfgVar)
+	for i, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+}
+
+func TestParallelResultsMatchSerial(t *testing.T) {
+	cells := []core.Cell{
+		cell("lu", core.Standard, core.Naive),
+		cell("lu", core.NWCache, core.Naive),
+		cell("gauss", core.Standard, core.Naive),
+		cell("gauss", core.NWCache, core.Naive),
+	}
+	run := func(workers int) []int64 {
+		p := New(workers)
+		futs := make([]*Future, len(cells))
+		for i, c := range cells {
+			futs[i], _ = p.Submit(c)
+		}
+		out := make([]int64, len(cells))
+		for i, f := range futs {
+			r, err := f.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = r.ExecTime
+		}
+		return out
+	}
+	serial, par := run(1), run(4)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("cell %d: serial exec %d != parallel exec %d", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestRunSeedsMatchesSequential(t *testing.T) {
+	cfg := fastCfg() // em3d is seed-randomized, so the aggregate is nontrivial
+	got, err := RunSeeds(New(4), "em3d", core.NWCache, core.Optimal, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunSeeds("em3d", core.NWCache, core.Optimal, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("pool aggregate %+v != sequential aggregate %+v", got, want)
+	}
+}
+
+func TestSubmitPropagatesErrors(t *testing.T) {
+	p := New(1)
+	bad := cell("lu", core.Standard, core.Optimal)
+	bad.Cfg.PageSize = 3000 // not a power of two: machine construction fails
+	if _, err := p.Run(bad); err == nil {
+		t.Fatal("expected configuration error")
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must select a positive worker count")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers = %d, want 3", got)
+	}
+}

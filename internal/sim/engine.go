@@ -1,8 +1,8 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains virtual time in processor cycles (pcycles, 5 ns in
-// the default NWCache configuration) and an event heap ordered by
-// (time, sequence number), so that simulations are fully reproducible:
+// the default NWCache configuration) and dispatches events in (time,
+// sequence number) order, so that simulations are fully reproducible:
 // events scheduled for the same instant fire in scheduling order.
 //
 // Two execution styles are supported and freely mixed:
@@ -13,10 +13,16 @@
 //     synchronization primitive. Exactly one goroutine (the engine or a
 //     single process) runs at any instant, so no data shared through the
 //     engine needs locking and results are deterministic.
+//
+// The dispatch core is built for throughput (see MODEL.md, "Engine fast
+// path"): event slots are pooled and recycled, future events live in an
+// inlined 4-ary heap, and events scheduled for the current instant (the
+// unpark/transfer storm of the synchronization primitives) bypass the heap
+// through a FIFO ready queue. None of this changes the dispatch order:
+// every event still fires in strict (time, seq) order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -24,102 +30,297 @@ import (
 // Time is virtual simulation time in pcycles.
 type Time = int64
 
-// event is a scheduled callback.
+// eventKind tags what firing an event does, so the common wake-ups carry a
+// *Proc directly instead of allocating a func() closure per occurrence.
+type eventKind uint8
+
+const (
+	evFunc  eventKind = iota // run fn()
+	evWake                   // hand control to proc p (Sleep wake-up, unpark)
+	evStart                  // first hand-over to a freshly spawned proc
+)
+
+// event is one scheduled occurrence. Slots are pooled: after an event
+// fires (or a canceled slot is drained) the slot returns to the free list
+// with gen incremented, so stale Event handles can never affect the slot's
+// next occupant.
 type event struct {
 	t        Time
 	seq      uint64
-	fn       func()
-	heapIdx  int
+	gen      uint32
+	kind     eventKind
 	canceled bool
+	fn       func()
+	p        *Proc
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// Event is a handle to a scheduled callback, usable for cancellation. The
+// zero Event is inert. Handles stay valid (as no-ops) after the event
+// fires, even once the underlying slot has been recycled.
+type Event struct {
+	ev  *event
+	gen uint32
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.heapIdx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	ev.heapIdx = -1
-	return ev
-}
-
-// Event is a handle to a scheduled callback, usable for cancellation.
-type Event struct{ ev *event }
 
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now     Time
-	heap    eventHeap
 	seq     uint64
 	stopped bool
 
+	heap      []*event // 4-ary min-heap of future events, ordered by (t, seq)
+	ready     []*event // FIFO of events scheduled for the current instant
+	readyHead int
+	free      []*event // recycled event slots
+	pending   int      // scheduled events not yet fired or canceled
+
 	// process bookkeeping
-	parked  map[*Proc]struct{} // procs blocked on a primitive (no event pending)
-	live    int                // procs started and not yet finished
-	back    chan struct{}      // proc -> engine: "I have yielded or finished"
-	current *Proc              // proc currently holding control, nil in callbacks
+	parkedList []*Proc       // procs blocked on a primitive (no event pending)
+	live       int           // procs started and not yet finished
+	main       chan struct{} // driver token handed back to Run/KillParked on drain
+	back       chan struct{} // killed proc -> KillParked: "I have unwound"
+	current    *Proc         // proc currently holding control, nil in callbacks
 }
 
 // New returns an empty engine at time 0.
 func New() *Engine {
 	return &Engine{
-		parked: make(map[*Proc]struct{}),
-		back:   make(chan struct{}),
+		// Capacity 1 so a control hand-over is one buffered send (no
+		// rendezvous double-park); tokens strictly alternate, so a
+		// buffer never holds more than one.
+		main: make(chan struct{}, 1),
+		back: make(chan struct{}, 1),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics, as it would silently corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// eventChunk is how many event slots are allocated at once when the free
+// list runs dry; steady-state scheduling then allocates nothing.
+const eventChunk = 64
+
+// alloc takes an event slot from the pool and stamps it with the next
+// sequence number.
+func (e *Engine) alloc(t Time, kind eventKind, fn func(), p *Proc) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		chunk := make([]event, eventChunk)
+		for i := 1; i < eventChunk; i++ {
+			e.free = append(e.free, &chunk[i])
+		}
+		ev = &chunk[0]
+	}
+	e.seq++
+	ev.t = t
+	ev.seq = e.seq
+	ev.kind = kind
+	ev.canceled = false
+	ev.fn = fn
+	ev.p = p
+	return ev
+}
+
+// release returns a slot to the pool. The generation bump invalidates
+// every outstanding handle to the slot's previous life.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.p = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule queues an event, routing same-instant events through the ready
+// FIFO and future events through the heap. Dispatch order is identical
+// either way: ready entries all carry t == now and ascending seq, and
+// popNext merges the two sources by (t, seq).
+func (e *Engine) schedule(t Time, kind eventKind, fn func(), p *Proc) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	e.seq++
-	ev := &event{t: t, seq: e.seq, fn: fn}
-	heap.Push(&e.heap, ev)
-	return &Event{ev}
+	ev := e.alloc(t, kind, fn, p)
+	e.pending++
+	if t == e.now {
+		e.ready = append(e.ready, ev)
+	} else {
+		e.heapPush(ev)
+	}
+	return ev
+}
+
+// heapPush inserts ev into the 4-ary heap.
+func (e *Engine) heapPush(ev *event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pe := h[parent]
+		if pe.t < ev.t || (pe.t == ev.t && pe.seq < ev.seq) {
+			break
+		}
+		h[i] = pe
+		i = parent
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum-(t, seq) event.
+func (e *Engine) heapPop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := i<<2 + 1
+			if child >= n {
+				break
+			}
+			end := child + 4
+			if end > n {
+				end = n
+			}
+			m := child
+			me := h[child]
+			for c := child + 1; c < end; c++ {
+				ce := h[c]
+				if ce.t < me.t || (ce.t == me.t && ce.seq < me.seq) {
+					m, me = c, ce
+				}
+			}
+			if last.t < me.t || (last.t == me.t && last.seq < me.seq) {
+				break
+			}
+			h[i] = me
+			i = m
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return top
+}
+
+// popNext removes the globally next event in (t, seq) order, merging the
+// ready FIFO with the heap, or returns nil when both are empty. Ready
+// entries always carry t == now (time cannot advance while one is
+// pending), so heap events only win the comparison via a lower seq at the
+// same instant.
+func (e *Engine) popNext() *event {
+	if e.readyHead < len(e.ready) {
+		r := e.ready[e.readyHead]
+		if len(e.heap) > 0 {
+			if h := e.heap[0]; h.t < r.t || (h.t == r.t && h.seq < r.seq) {
+				return e.heapPop()
+			}
+		}
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+		if e.readyHead == len(e.ready) {
+			e.ready = e.ready[:0]
+			e.readyHead = 0
+		}
+		return r
+	}
+	if len(e.heap) > 0 {
+		return e.heapPop()
+	}
+	return nil
+}
+
+// drive outcomes.
+const (
+	driveDrained = iota // queues empty or Stop() seen: token belongs to main
+	driveHanded         // token handed to another proc's goroutine
+	driveResumed        // owner's own wake fired: owner continues, still driver
+)
+
+// drive is the dispatch loop, executed by whichever goroutine currently
+// owns the engine (the "driver token" migrates: Run's goroutine starts
+// with it, and every yielding or finishing proc keeps dispatching until
+// the token can be handed to the next runnable goroutine). owner is the
+// proc this goroutine belongs to, or nil for the main goroutine and for a
+// proc whose body already returned.
+//
+// Callback events run inline on the driving goroutine — harmless, since
+// exactly one goroutine runs at any instant either way. When owner's own
+// wake event comes up, drive returns driveResumed and the owner proceeds
+// without any channel operation at all (the common case for a proc whose
+// sleep expires with no intervening work).
+func (e *Engine) drive(owner *Proc) int {
+	for !e.stopped {
+		ev := e.popNext()
+		if ev == nil {
+			return driveDrained
+		}
+		if ev.canceled {
+			e.release(ev)
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: event queue returned event in the past")
+		}
+		e.now = ev.t
+		e.pending--
+		// Recycle before acting: an event firing right now can schedule
+		// into (and a canceled handle can never reach) this slot's next
+		// life.
+		kind, fn, p := ev.kind, ev.fn, ev.p
+		e.release(ev)
+		switch kind {
+		case evFunc:
+			e.current = nil
+			fn()
+		default: // evWake, evStart
+			if kind == evStart {
+				e.live++
+			}
+			e.current = p
+			if p == owner {
+				return driveResumed
+			}
+			p.cont <- struct{}{}
+			return driveHanded
+		}
+	}
+	return driveDrained
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, as it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) Event {
+	ev := e.schedule(t, evFunc, fn, nil)
+	return Event{ev, ev.gen}
 }
 
 // After schedules fn to run d pcycles from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.At(e.now+d, fn)
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
-// already fired (or was already canceled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.ev == nil || ev.ev.canceled || ev.ev.heapIdx < 0 {
+// already fired (or was already canceled) is a no-op, even if the event's
+// pooled slot has since been reused for a different event.
+func (e *Engine) Cancel(ev Event) {
+	iev := ev.ev
+	if iev == nil || iev.gen != ev.gen || iev.canceled {
 		return
 	}
-	ev.ev.canceled = true
-	heap.Remove(&e.heap, ev.ev.heapIdx)
+	iev.canceled = true
+	e.pending--
+	// The slot stays queued and is recycled when dispatch drains it.
 }
 
-// Pending reports the number of events waiting in the heap.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending reports the number of scheduled events that have neither fired
+// nor been canceled.
+func (e *Engine) Pending() int { return e.pending }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -136,23 +337,18 @@ func (d *DeadlockError) Error() string {
 		d.Now, len(d.Procs), d.Procs)
 }
 
-// Run executes events in order until the heap drains or Stop is called.
-// If the heap drains while non-daemon processes are parked on
-// synchronization primitives, Run kills all parked processes and returns a
-// *DeadlockError naming the non-daemon ones. Daemon processes parked at
-// drain time are considered normal and are killed silently.
+// Run executes events in order until the queues drain or Stop is called.
+// If they drain while non-daemon processes are parked on synchronization
+// primitives, Run kills all parked processes and returns a *DeadlockError
+// naming the non-daemon ones. Daemon processes parked at drain time are
+// considered normal and are killed silently.
 func (e *Engine) Run() error {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.canceled {
-			continue
-		}
-		if ev.t < e.now {
-			panic("sim: event heap returned event in the past")
-		}
-		e.now = ev.t
-		ev.fn()
+	if e.drive(nil) == driveHanded {
+		// A proc holds the driver token; procs keep dispatching among
+		// themselves and hand the token back when the queues drain (or
+		// Stop is seen).
+		<-e.main
 	}
 	if e.stopped {
 		// Halted explicitly: leave remaining events and parked processes in
@@ -160,7 +356,7 @@ func (e *Engine) Run() error {
 		return nil
 	}
 	var stuck []string
-	for p := range e.parked {
+	for _, p := range e.parkedList {
 		if !p.daemon {
 			stuck = append(stuck, p.name)
 		}
@@ -173,37 +369,51 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// addParked records p as parked (blocked with no wake-up event pending).
+func (e *Engine) addParked(p *Proc) {
+	p.parkedIdx = len(e.parkedList)
+	e.parkedList = append(e.parkedList, p)
+}
+
+// removeParked unregisters a parked proc in O(1).
+func (e *Engine) removeParked(p *Proc) {
+	last := len(e.parkedList) - 1
+	q := e.parkedList[last]
+	e.parkedList[p.parkedIdx] = q
+	q.parkedIdx = p.parkedIdx
+	e.parkedList[last] = nil
+	e.parkedList = e.parkedList[:last]
+	p.parkedIdx = -1
+}
+
 // KillParked terminates every parked process (daemons included) so that no
 // goroutines leak when a simulation is abandoned. Killing a process runs its
 // defers, which may unpark other processes (e.g. by releasing a semaphore);
 // those are resumed to quiescence before the next victim is killed, so
 // teardown is orderly and complete. Safe to call repeatedly.
 func (e *Engine) KillParked() {
+	e.stopped = false // teardown always drains what remains
 	for {
 		// Resume anything runnable (events scheduled by defers of already
-		// killed processes) until the heap is quiet again.
-		for len(e.heap) > 0 {
-			ev := heap.Pop(&e.heap).(*event)
-			if ev.canceled {
-				continue
-			}
-			if ev.t > e.now {
-				e.now = ev.t
-			}
-			ev.fn()
+		// killed processes) until the queues are quiet again.
+		if e.drive(nil) == driveHanded {
+			<-e.main
 		}
-		if len(e.parked) == 0 {
+		if len(e.parkedList) == 0 {
 			return
 		}
 		// Kill the oldest parked process for determinism.
-		var victim *Proc
-		for p := range e.parked {
-			if victim == nil || p.id < victim.id {
+		victim := e.parkedList[0]
+		for _, p := range e.parkedList[1:] {
+			if p.id < victim.id {
 				victim = p
 			}
 		}
-		delete(e.parked, victim)
+		e.removeParked(victim)
 		victim.killed = true
-		e.transfer(victim)
+		e.current = victim
+		victim.cont <- struct{}{}
+		<-e.back // victim has unwound; we still hold the driver token
+		e.current = nil
 	}
 }

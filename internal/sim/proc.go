@@ -10,12 +10,13 @@ type procKilled struct{ name string }
 // it; it must yield (by sleeping or blocking) to let simulation time
 // advance. All Proc methods must be called from the Proc's own goroutine.
 type Proc struct {
-	e      *Engine
-	id     uint64
-	name   string
-	daemon bool
-	cont   chan struct{} // engine -> proc: "you have control"
-	killed bool
+	e         *Engine
+	id        uint64
+	name      string
+	daemon    bool
+	cont      chan struct{} // engine -> proc: "you have control"
+	killed    bool
+	parkedIdx int // index in Engine.parkedList, -1 when not parked
 }
 
 // Spawn starts fn as a new process at the current simulation time. The
@@ -34,50 +35,51 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 
 func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 	e.seq++
-	p := &Proc{e: e, id: e.seq, name: name, daemon: daemon, cont: make(chan struct{})}
+	p := &Proc{e: e, id: e.seq, name: name, daemon: daemon,
+		cont: make(chan struct{}, 1), parkedIdx: -1}
 	go func() {
 		<-p.cont // wait for the start event to hand over control
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procKilled); ok {
-					// Killed during engine teardown: just exit. Control is
-					// NOT returned to the engine here; KillParked resumes.
+					// Killed during engine teardown: just exit. The driver
+					// token goes straight back to KillParked, which resumes
+					// whatever the unwinding defers made runnable.
 					e.live--
+					e.current = nil
 					e.back <- struct{}{}
 					return
 				}
 				panic(r) // real bug: crash loudly
 			}
+			// Normal completion: this goroutine still holds the driver
+			// token, so keep dispatching until it can be handed off.
 			e.live--
 			e.current = nil
-			e.back <- struct{}{} // normal completion: give control back
+			if e.drive(nil) == driveDrained {
+				e.main <- struct{}{}
+			}
 		}()
 		fn(p)
 	}()
-	e.At(e.now, func() {
-		e.live++
-		e.transfer(p)
-	})
+	e.schedule(e.now, evStart, nil, p)
 	return p
 }
 
-// transfer hands control to p and blocks until p yields or finishes.
-// It must be called from the engine goroutine (inside an event callback).
-func (e *Engine) transfer(p *Proc) {
-	prev := e.current
-	e.current = p
-	p.cont <- struct{}{}
-	<-e.back
-	e.current = prev
-}
-
-// yield returns control to the engine and blocks until the engine
-// transfers control back. If the process was killed while parked, yield
-// panics with procKilled to unwind the process body (running defers).
+// yield relinquishes the processor but keeps driving the dispatch loop on
+// this goroutine until control comes back (see Engine.drive). If the
+// process was killed while parked, yield panics with procKilled to unwind
+// the process body (running defers).
 func (p *Proc) yield() {
-	p.e.current = nil
-	p.e.back <- struct{}{}
-	<-p.cont
+	switch p.e.drive(p) {
+	case driveResumed:
+		// Our own wake was the next event: continue, still the driver.
+	case driveHanded:
+		<-p.cont
+	case driveDrained:
+		p.e.main <- struct{}{} // hand the token back to Run/KillParked
+		<-p.cont
+	}
 	if p.killed {
 		panic(procKilled{p.name})
 	}
@@ -92,12 +94,16 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current simulation time.
 func (p *Proc) Now() Time { return p.e.now }
 
+// isParked reports whether p is blocked on a primitive with no wake-up
+// event pending. Killed procs are never parked.
+func (p *Proc) isParked() bool { return p.parkedIdx >= 0 }
+
 // Sleep suspends the process for d pcycles. d must be >= 0.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s: Sleep(%d) negative", p.name, d))
 	}
-	p.e.At(p.e.now+d, func() { p.e.transfer(p) })
+	p.e.schedule(p.e.now+d, evWake, nil, p)
 	p.yield()
 }
 
@@ -112,16 +118,16 @@ func (p *Proc) SleepUntil(t Time) {
 // park blocks the process with no wake-up event scheduled; some other actor
 // must call unpark. Used by the synchronization primitives.
 func (p *Proc) park() {
-	p.e.parked[p] = struct{}{}
+	p.e.addParked(p)
 	p.yield()
 }
 
 // unpark schedules p to resume at the current time. Must only be called for
 // a parked process.
 func (e *Engine) unpark(p *Proc) {
-	if _, ok := e.parked[p]; !ok {
+	if p.parkedIdx < 0 {
 		panic("sim: unpark of non-parked process " + p.name)
 	}
-	delete(e.parked, p)
-	e.At(e.now, func() { e.transfer(p) })
+	e.removeParked(p)
+	e.schedule(e.now, evWake, nil, p)
 }

@@ -15,7 +15,7 @@ type Server struct {
 	e      *Engine
 	name   string
 	busy   bool
-	queues [2][]*Proc
+	queues [2]procFIFO
 
 	// Stats.
 	Busy   Time // cumulative service time (from Acquire to Release)
@@ -46,7 +46,7 @@ func (s *Server) Name() string { return s.name }
 func (s *Server) Acquire(p *Proc, pri Priority) {
 	t0 := p.Now()
 	if s.busy {
-		s.queues[pri] = append(s.queues[pri], p)
+		s.queues[pri].push(p)
 		p.park()
 	}
 	s.busy = true
@@ -74,10 +74,12 @@ func (s *Server) Release() {
 	s.Busy += s.e.now - s.heldAt
 	s.holder = nil
 	for pri := range s.queues {
-		for len(s.queues[pri]) > 0 {
-			next := s.queues[pri][0]
-			s.queues[pri] = s.queues[pri][1:]
-			if _, parked := s.e.parked[next]; parked {
+		for {
+			next, ok := s.queues[pri].pop()
+			if !ok {
+				break
+			}
+			if next.isParked() {
 				// Hand over directly: the server stays busy and the waiter
 				// resumes inside its Acquire.
 				s.e.unpark(next)
@@ -100,9 +102,9 @@ func (s *Server) Use(p *Proc, pri Priority, dur Time) (waited Time) {
 }
 
 // QueueLen returns the number of waiters in the given class.
-func (s *Server) QueueLen(pri Priority) int { return len(s.queues[pri]) }
+func (s *Server) QueueLen(pri Priority) int { return s.queues[pri].len() }
 
 // Idle reports whether the server is free with no waiters.
 func (s *Server) Idle() bool {
-	return !s.busy && len(s.queues[High]) == 0 && len(s.queues[Low]) == 0
+	return !s.busy && s.queues[High].len() == 0 && s.queues[Low].len() == 0
 }

@@ -1,12 +1,38 @@
 package sim
 
+// procFIFO is a head-indexed process queue: pop does not reslice away
+// capacity, so a queue that empties regularly reuses one backing array
+// instead of crawling through it allocation by allocation.
+type procFIFO struct {
+	s    []*Proc
+	head int
+}
+
+func (q *procFIFO) push(p *Proc) { q.s = append(q.s, p) }
+
+func (q *procFIFO) pop() (*Proc, bool) {
+	if q.head == len(q.s) {
+		return nil, false
+	}
+	p := q.s[q.head]
+	q.s[q.head] = nil
+	q.head++
+	if q.head == len(q.s) {
+		q.s = q.s[:0]
+		q.head = 0
+	}
+	return p, true
+}
+
+func (q *procFIFO) len() int { return len(q.s) - q.head }
+
 // Cond is a FIFO wait queue. Wait parks the calling process until another
 // actor calls Signal or Broadcast. Unlike sync.Cond there is no associated
 // mutex: simulation code is single-threaded by construction, so the check
 // of the guarded predicate and the call to Wait cannot race.
 type Cond struct {
 	e       *Engine
-	waiting []*Proc
+	waiting procFIFO
 }
 
 // NewCond returns an empty condition queue.
@@ -14,23 +40,24 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 
 // Wait parks p until a Signal/Broadcast wakes it. Wakeups are FIFO.
 func (c *Cond) Wait(p *Proc) {
-	c.waiting = append(c.waiting, p)
+	c.waiting.push(p)
 	p.park()
 }
 
 // Signal wakes the longest-waiting process, if any. Returns true if a
 // process was woken.
 func (c *Cond) Signal() bool {
-	for len(c.waiting) > 0 {
-		p := c.waiting[0]
-		c.waiting = c.waiting[1:]
-		if _, still := c.e.parked[p]; still {
+	for {
+		p, ok := c.waiting.pop()
+		if !ok {
+			return false
+		}
+		if p.isParked() {
 			c.e.unpark(p)
 			return true
 		}
 		// Process was killed while on the queue; skip it.
 	}
-	return false
 }
 
 // Broadcast wakes every waiting process.
@@ -40,7 +67,7 @@ func (c *Cond) Broadcast() {
 }
 
 // Waiting reports how many processes are queued.
-func (c *Cond) Waiting() int { return len(c.waiting) }
+func (c *Cond) Waiting() int { return c.waiting.len() }
 
 // Semaphore is a counting semaphore with FIFO granting.
 type Semaphore struct {
@@ -124,8 +151,11 @@ func (b *Barrier) Arrive(p *Proc) Time {
 
 // Queue is an unbounded FIFO mailbox. Push never blocks and may be called
 // from event callbacks; Pop parks the caller until an item is available.
+// Like procFIFO, the item buffer is head-indexed so a queue that drains
+// regularly reuses its backing array.
 type Queue[T any] struct {
 	items []T
+	head  int
 	cond  *Cond
 }
 
@@ -138,35 +168,44 @@ func (q *Queue[T]) Push(v T) {
 	q.cond.Signal()
 }
 
+// take removes the head item; the queue must be non-empty.
+func (q *Queue[T]) take() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Pop removes and returns the oldest item, parking p while empty.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.take()
 }
 
 // TryPop removes the oldest item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the simulation-core hot-path benchmarks and emit BENCH_1.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Benchmarks:
+#   BenchmarkEngineEventThroughput  pooled event schedule/dispatch cycle
+#   BenchmarkProcSwitch             Sleep round-trip (migrating driver)
+#   BenchmarkSingleRunGauss         one end-to-end application run
+#
+# Output is a JSON object mapping benchmark name to {ns_per_op,
+# bytes_per_op, allocs_per_op, iterations}. NWCACHE_BENCH_SCALE (see
+# bench_test.go) applies to the end-to-end benchmark as usual.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench '^(BenchmarkEngineEventThroughput|BenchmarkProcSwitch|BenchmarkSingleRunGauss)$' \
+  -benchmem -benchtime "${NWCACHE_BENCHTIME:-1s}" . | tee "$raw" >&2
+
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+      if ($i == "B/op")      bytes  = $(i - 1)
+      if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, iters, ns, bytes, allocs
+    sep = ",\n"
+  }
+  BEGIN { print "[" }
+  END   { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
