@@ -159,6 +159,16 @@ func BenchmarkSingleRunGauss(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunFFT measures simulator throughput on a
+// communication-heavy application (the transposes touch every partition),
+// complementing the swap-heavy gauss run above.
+func BenchmarkSingleRunFFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runCell(b, "fft", nwcache.NWCache, nwcache.Optimal)
+		b.ReportMetric(float64(res.ExecTime), "sim-pcycles")
+	}
+}
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkEngineEventThroughput measures raw event dispatch.

@@ -14,11 +14,17 @@
 // The package provides the state machines (per-node caches and the global
 // directory); the machine layer drives them and charges the mesh/bus
 // timing for each transaction kind returned by the protocol functions.
+//
+// Both structures are on the simulator's per-access hot path, so they
+// avoid steady-state heap allocation: the cache is an intrusive LRU over a
+// fixed slot array with an open-addressed block index, and the directory
+// stores entries by value with a reusable invalidation scratch list.
 package coherence
 
 import (
-	"container/list"
 	"fmt"
+
+	"nwcache/internal/dense"
 )
 
 // State is a cache line's MSI state.
@@ -50,18 +56,27 @@ const SubPerPage = 4
 // key packs (page, sub) into a block id.
 func key(page int64, sub int) int64 { return page*SubPerPage + int64(sub) }
 
-// line is one cached block.
+// line is one cached block: the packed block id, its MSI state, and the
+// intrusive LRU links (slot indices; -1 terminates).
 type line struct {
-	k     int64
-	state State
+	k          int64
+	state      State
+	prev, next int32
 }
 
-// Cache is one node's coherent cache: LRU over blocks with MSI states.
+// Cache is one node's coherent cache: LRU over blocks with MSI states,
+// laid out as a fixed slot array (capacity is set at construction) indexed
+// by an open-addressed block map. Insert reuses the evicted block's slot,
+// so the hit/miss/evict churn never touches the heap.
 type Cache struct {
 	node     int
 	capacity int
-	lru      *list.List
-	entries  map[int64]*list.Element
+	lines    []line
+	ix       *dense.Index
+	head     int32 // MRU; -1 when empty
+	tail     int32 // LRU; -1 when empty
+	fslots   int32 // free-slot stack via next; -1 when empty
+	count    int
 
 	Hits       uint64
 	Misses     uint64
@@ -74,20 +89,67 @@ func NewCache(node, capacity int) *Cache {
 	if capacity < 1 {
 		panic("coherence: capacity must be >= 1")
 	}
-	return &Cache{
+	c := &Cache{
 		node:     node,
 		capacity: capacity,
-		lru:      list.New(),
-		entries:  make(map[int64]*list.Element),
+		lines:    make([]line, capacity),
+		ix:       dense.NewIndex(capacity),
+		head:     -1,
+		tail:     -1,
+		fslots:   -1,
 	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.lines[i].next = c.fslots
+		c.fslots = int32(i)
+	}
+	return c
+}
+
+// pushFront links slot s in as most recently used.
+func (c *Cache) pushFront(s int32) {
+	c.lines[s].prev = -1
+	c.lines[s].next = c.head
+	if c.head >= 0 {
+		c.lines[c.head].prev = s
+	}
+	c.head = s
+	if c.tail < 0 {
+		c.tail = s
+	}
+	c.count++
+}
+
+// unlink removes slot s from the LRU list.
+func (c *Cache) unlink(s int32) {
+	l := &c.lines[s]
+	if l.prev >= 0 {
+		c.lines[l.prev].next = l.next
+	} else {
+		c.head = l.next
+	}
+	if l.next >= 0 {
+		c.lines[l.next].prev = l.prev
+	} else {
+		c.tail = l.prev
+	}
+	c.count--
+}
+
+// moveToFront refreshes slot s's LRU position.
+func (c *Cache) moveToFront(s int32) {
+	if s == c.head {
+		return
+	}
+	c.unlink(s)
+	c.pushFront(s)
 }
 
 // State returns the cached state of a block (Invalid if absent), touching
 // LRU on presence.
 func (c *Cache) State(page int64, sub int) State {
-	if el, ok := c.entries[key(page, sub)]; ok {
-		c.lru.MoveToFront(el)
-		return el.Value.(*line).state
+	if s := c.ix.Get(key(page, sub)); s >= 0 {
+		c.moveToFront(s)
+		return c.lines[s].state
 	}
 	return Invalid
 }
@@ -104,16 +166,16 @@ type Evicted struct {
 // and update the directory.
 func (c *Cache) Insert(page int64, sub int, st State) (ev Evicted, evicted bool) {
 	k := key(page, sub)
-	if el, ok := c.entries[k]; ok {
-		el.Value.(*line).state = st
-		c.lru.MoveToFront(el)
+	if s := c.ix.Get(k); s >= 0 {
+		c.lines[s].state = st
+		c.moveToFront(s)
 		return Evicted{}, false
 	}
-	if c.lru.Len() >= c.capacity {
-		back := c.lru.Back()
-		l := back.Value.(*line)
-		c.lru.Remove(back)
-		delete(c.entries, l.k)
+	if c.count >= c.capacity {
+		s := c.tail
+		l := &c.lines[s]
+		c.unlink(s)
+		c.ix.Delete(l.k)
 		ev = Evicted{
 			Page:     l.k / SubPerPage,
 			Sub:      int(l.k % SubPerPage),
@@ -123,32 +185,42 @@ func (c *Cache) Insert(page int64, sub int, st State) (ev Evicted, evicted bool)
 			c.Writebacks++
 		}
 		evicted = true
+		l.next = c.fslots
+		c.fslots = s
 	}
-	c.entries[k] = c.lru.PushFront(&line{k: k, state: st})
+	s := c.fslots
+	c.fslots = c.lines[s].next
+	c.lines[s].k = k
+	c.lines[s].state = st
+	c.ix.Put(k, s)
+	c.pushFront(s)
 	return ev, evicted
 }
 
 // SetState changes the state of a cached block (upgrade/downgrade); the
 // block must be present.
 func (c *Cache) SetState(page int64, sub int, st State) {
-	el, ok := c.entries[key(page, sub)]
-	if !ok {
+	s := c.ix.Get(key(page, sub))
+	if s < 0 {
 		panic(fmt.Sprintf("coherence: node %d: SetState on absent block %d/%d", c.node, page, sub))
 	}
-	el.Value.(*line).state = st
+	c.lines[s].state = st
 }
 
 // Drop removes a block (invalidation). Reports whether it was present and
 // whether the dropped copy was Modified.
 func (c *Cache) Drop(page int64, sub int) (present, wasModified bool) {
-	el, ok := c.entries[key(page, sub)]
-	if !ok {
+	k := key(page, sub)
+	s := c.ix.Get(k)
+	if s < 0 {
 		return false, false
 	}
-	l := el.Value.(*line)
-	c.lru.Remove(el)
-	delete(c.entries, key(page, sub))
-	return true, l.state == Modified
+	wasModified = c.lines[s].state == Modified
+	c.unlink(s)
+	c.ix.Delete(k)
+	c.lines[s].next = c.fslots
+	c.fslots = s
+	return true, wasModified
 }
 
 // DropPage removes every block of a page (page eviction from memory).
@@ -163,13 +235,17 @@ func (c *Cache) DropPage(page int64) int {
 }
 
 // Len returns the number of cached blocks.
-func (c *Cache) Len() int { return c.lru.Len() }
+func (c *Cache) Len() int { return c.count }
 
 // Directory tracks, per block, which caches hold it and in what state.
 // A single global structure suffices in the simulator (the home node is
 // wherever the page currently resides; timing is charged by the caller).
+// Entries are stored by value and deleted as soon as they empty, so the
+// map stays bounded and steady-state churn reuses its buckets instead of
+// allocating per-block entry objects.
 type Directory struct {
-	entries map[int64]*DirEntry
+	entries    map[int64]DirEntry
+	invScratch []int
 }
 
 // DirEntry is one block's directory state.
@@ -180,22 +256,11 @@ type DirEntry struct {
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{entries: make(map[int64]*DirEntry)}
-}
-
-// get returns (creating) the entry for a block.
-func (d *Directory) get(page int64, sub int) *DirEntry {
-	k := key(page, sub)
-	en, ok := d.entries[k]
-	if !ok {
-		en = &DirEntry{Owner: -1}
-		d.entries[k] = en
-	}
-	return en
+	return &Directory{entries: make(map[int64]DirEntry)}
 }
 
 // Lookup returns the entry if present.
-func (d *Directory) Lookup(page int64, sub int) (*DirEntry, bool) {
+func (d *Directory) Lookup(page int64, sub int) (DirEntry, bool) {
 	en, ok := d.entries[key(page, sub)]
 	return en, ok
 }
@@ -206,7 +271,9 @@ type Txn struct {
 	// FetchFrom is the node whose cache must forward a Modified copy
 	// (cache-to-cache transfer), or -1 if memory supplies the data.
 	FetchFrom int
-	// Invalidate lists nodes whose Shared copies must be invalidated.
+	// Invalidate lists nodes whose Shared copies must be invalidated. The
+	// slice aliases the directory's scratch buffer: it is valid until the
+	// next Read/Write call on the same directory.
 	Invalidate []int
 	// MemoryData is true when the block comes from the home memory.
 	MemoryData bool
@@ -215,7 +282,11 @@ type Txn struct {
 // Read records node n obtaining a Shared copy and returns the traffic
 // needed. The caller must afterwards Insert into n's cache.
 func (d *Directory) Read(page int64, sub int, n int) Txn {
-	en := d.get(page, sub)
+	k := key(page, sub)
+	en, ok := d.entries[k]
+	if !ok {
+		en = DirEntry{Owner: -1}
+	}
 	t := Txn{FetchFrom: -1}
 	if en.Owner >= 0 && en.Owner != n {
 		// Dirty copy elsewhere: forward it and downgrade to Shared.
@@ -226,43 +297,57 @@ func (d *Directory) Read(page int64, sub int, n int) Txn {
 		t.MemoryData = true
 	}
 	en.Sharers |= 1 << uint(n)
+	d.entries[k] = en
 	return t
 }
 
 // Write records node n obtaining the Modified copy and returns the
 // traffic needed (forward from a dirty owner and/or invalidations of
 // sharers). The caller must afterwards Insert/SetState in n's cache.
+// The returned Invalidate slice is valid until the next Read/Write.
 func (d *Directory) Write(page int64, sub int, n int) Txn {
-	en := d.get(page, sub)
+	k := key(page, sub)
+	en, ok := d.entries[k]
+	if !ok {
+		en = DirEntry{Owner: -1}
+	}
 	t := Txn{FetchFrom: -1}
 	if en.Owner >= 0 && en.Owner != n {
 		t.FetchFrom = en.Owner
 	} else if en.Owner != n {
 		t.MemoryData = en.Sharers&(1<<uint(n)) == 0 // upgrade needs no data
 	}
+	inv := d.invScratch[:0]
 	for s := 0; s < 64; s++ {
 		if en.Sharers&(1<<uint(s)) != 0 && s != n {
-			t.Invalidate = append(t.Invalidate, s)
+			inv = append(inv, s)
 		}
+	}
+	d.invScratch = inv[:0]
+	if len(inv) > 0 {
+		t.Invalidate = inv
 	}
 	en.Sharers = 0
 	en.Owner = n
+	d.entries[k] = en
 	return t
 }
 
 // EvictShared records a silent drop of a Shared copy.
 func (d *Directory) EvictShared(page int64, sub int, n int) {
-	if en, ok := d.Lookup(page, sub); ok {
+	k := key(page, sub)
+	if en, ok := d.entries[k]; ok {
 		en.Sharers &^= 1 << uint(n)
-		d.gc(page, sub, en)
+		d.put(k, en)
 	}
 }
 
 // EvictModified records the write-back of a Modified copy to memory.
 func (d *Directory) EvictModified(page int64, sub int, n int) {
-	if en, ok := d.Lookup(page, sub); ok && en.Owner == n {
+	k := key(page, sub)
+	if en, ok := d.entries[k]; ok && en.Owner == n {
 		en.Owner = -1
-		d.gc(page, sub, en)
+		d.put(k, en)
 	}
 }
 
@@ -274,10 +359,12 @@ func (d *Directory) DropPage(page int64) {
 	}
 }
 
-// gc removes empty entries to bound the map.
-func (d *Directory) gc(page int64, sub int, en *DirEntry) {
+// put stores the entry back, deleting it when empty to bound the map.
+func (d *Directory) put(k int64, en DirEntry) {
 	if en.Sharers == 0 && en.Owner < 0 {
-		delete(d.entries, key(page, sub))
+		delete(d.entries, k)
+	} else {
+		d.entries[k] = en
 	}
 }
 

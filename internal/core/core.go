@@ -235,7 +235,9 @@ func RunDrainPolicy(app string, mode PrefetchMode, cfg Config, rr bool) (*Result
 	}
 	if rr {
 		for _, f := range m.Ifaces {
-			f.Policy = optical.RoundRobin
+			if f != nil {
+				f.Policy = optical.RoundRobin
+			}
 		}
 	}
 	return m.Run(prog)

@@ -94,8 +94,14 @@ func TestNewMachineExposesSubstrates(t *testing.T) {
 	if m.Ring == nil {
 		t.Fatal("NWCache machine without ring")
 	}
-	if len(m.Disks) != fastCfg().IONodes {
-		t.Fatalf("%d disks, want %d", len(m.Disks), fastCfg().IONodes)
+	disks := 0
+	for _, d := range m.Disks {
+		if d != nil {
+			disks++
+		}
+	}
+	if disks != fastCfg().IONodes {
+		t.Fatalf("%d disks, want %d", disks, fastCfg().IONodes)
 	}
 	std, err := NewMachine(fastCfg(), Standard, Optimal)
 	if err != nil {

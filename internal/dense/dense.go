@@ -1,0 +1,136 @@
+// Package dense provides the small allocation-free data structures shared
+// by the model layer's hot per-access paths (see MODEL.md, "Model fast
+// path"): an open-addressed int64 -> int32 index for fixed-capacity caches
+// (coherent cache filter, TLB) whose steady-state insert/delete churn must
+// not touch the heap the way built-in map buckets do.
+package dense
+
+import "math"
+
+// Index is an open-addressed hash index from int64 keys to int32 slot
+// numbers, sized once for a fixed maximum occupancy. Any key except
+// math.MinInt64 (reserved as the empty sentinel) is valid. Insert and
+// delete never allocate after construction; deletion uses backward-shift
+// compaction so no tombstones accumulate.
+//
+// The index is a companion structure: the caller owns the slots, the
+// Index only finds them. Capacity overflow is a programming error (the
+// callers are bounded LRU caches that evict before inserting).
+type Index struct {
+	keys  []int64 // emptyKey = empty
+	slots []int32
+	mask  uint64
+	used  int
+	cap   int
+}
+
+// NewIndex returns an index able to hold up to capacity keys. The table is
+// sized at least twice the capacity (next power of two) so probe chains
+// stay short.
+func NewIndex(capacity int) *Index {
+	if capacity < 1 {
+		panic("dense: index capacity must be >= 1")
+	}
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	ix := &Index{
+		keys:  make([]int64, size),
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
+		cap:   capacity,
+	}
+	for i := range ix.keys {
+		ix.keys[i] = emptyKey
+	}
+	return ix
+}
+
+// emptyKey marks an unoccupied table cell.
+const emptyKey = math.MinInt64
+
+// hash mixes the key bits (fibonacci hashing) into a table position.
+func (ix *Index) hash(key int64) uint64 {
+	return (uint64(key) * 0x9E3779B97F4A7C15) >> 32 & ix.mask
+}
+
+// Get returns the slot stored for key, or -1 if absent.
+func (ix *Index) Get(key int64) int32 {
+	i := ix.hash(key)
+	for {
+		k := ix.keys[i]
+		if k == key {
+			return ix.slots[i]
+		}
+		if k == emptyKey {
+			return -1
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// Put stores key -> slot, replacing any previous mapping for key.
+func (ix *Index) Put(key int64, slot int32) {
+	if key == emptyKey {
+		panic("dense: key reserved as empty sentinel")
+	}
+	i := ix.hash(key)
+	for {
+		k := ix.keys[i]
+		if k == key {
+			ix.slots[i] = slot
+			return
+		}
+		if k == emptyKey {
+			if ix.used >= ix.cap {
+				panic("dense: index over capacity")
+			}
+			ix.keys[i] = key
+			ix.slots[i] = slot
+			ix.used++
+			return
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// Delete removes key's mapping; a missing key is a no-op. Backward-shift
+// compaction keeps every remaining key reachable from its hash position.
+func (ix *Index) Delete(key int64) {
+	i := ix.hash(key)
+	for {
+		k := ix.keys[i]
+		if k == emptyKey {
+			return
+		}
+		if k == key {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.used--
+	// Shift subsequent cluster entries back over the hole so probing from
+	// their home positions still reaches them.
+	hole := i
+	j := i
+	for {
+		j = (j + 1) & ix.mask
+		k := ix.keys[j]
+		if k == emptyKey {
+			break
+		}
+		home := ix.hash(k)
+		// k may move into the hole only if the hole lies on the probe path
+		// from its home position (cyclic interval test).
+		if (j-home)&ix.mask >= (j-hole)&ix.mask {
+			ix.keys[hole] = k
+			ix.slots[hole] = ix.slots[j]
+			hole = j
+		}
+	}
+	ix.keys[hole] = emptyKey
+}
+
+// Len returns the number of stored keys.
+func (ix *Index) Len() int { return ix.used }

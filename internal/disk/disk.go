@@ -22,7 +22,6 @@ package disk
 
 import (
 	"fmt"
-	"sort"
 
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
@@ -112,15 +111,25 @@ type Disk struct {
 	pendingPFDone *sim.Cond
 
 	// streamHead tracks, per requesting node, the last block read — the
-	// Streamed mode's stream detector.
-	streamHead  map[int]int64
+	// Streamed mode's stream detector. Indexed by node id (zero value
+	// matches the "never seen" semantics of the former map).
+	streamHead  []int64
 	streamDepth int
 
 	// dcd, when non-nil, is the Disk Caching Disk log interposed between
 	// the controller cache and the data mechanism (§6 baseline).
 	dcd *dcdLog
 
-	nackFIFO []nackEntry
+	nackFIFO  []nackEntry
+	nackBatch []nackEntry // scratch for releaseNACKs
+
+	// Write-back scratch buffers, reused across writebackLoop iterations so
+	// the steady-state drain allocates nothing.
+	wbDirty []blockIdx
+	wbGroup []int
+	wbSeqs  []uint64
+	wbBlks  []int64
+
 	// NotifyOK is invoked when controller-cache room appears for a
 	// previously NACKed write; the machine layer turns it into an OK
 	// message to the node. Must be set before use if writes can NACK.
@@ -167,7 +176,7 @@ func New(e *sim.Engine, name string, cfg param.Config, mode PrefetchMode) *Disk 
 		wbDwell:      cfg.WBDwell,
 		wbKick:       sim.NewCond(e),
 		pendingPF:    make(map[int64]bool),
-		streamHead:   make(map[int]int64),
+		streamHead:   make([]int64, cfg.Nodes),
 		streamDepth:  cfg.StreamDepth,
 	}
 	d.pendingPFDone = sim.NewCond(e)
@@ -509,10 +518,17 @@ func (d *Disk) writebackLoop(p *sim.Proc) {
 	}
 }
 
+// blockIdx pairs a cache slot index with its disk block (write-back sort).
+type blockIdx struct {
+	idx   int
+	block int64
+}
+
 // pickWriteGroup chooses the dirty slots for the next media write: the
 // oldest dirty slot plus every dirty slot whose block is consecutive with
 // it (in either direction), written in one access. Returned indices are in
-// ascending block order.
+// ascending block order. The result aliases a scratch buffer valid until
+// the next call.
 func (d *Disk) pickWriteGroup() []int {
 	oldest := -1
 	for i := range d.slots {
@@ -524,17 +540,22 @@ func (d *Disk) pickWriteGroup() []int {
 	if oldest == -1 {
 		return nil
 	}
-	type bi struct {
-		idx   int
-		block int64
-	}
-	var dirty []bi
+	// Collect dirty slots in ascending block order (insertion sort: the
+	// controller cache holds a handful of slots).
+	dirty := d.wbDirty[:0]
 	for i := range d.slots {
 		if d.slots[i].valid && d.slots[i].dirty && !d.slots[i].busy {
-			dirty = append(dirty, bi{i, d.slots[i].block})
+			x := blockIdx{i, d.slots[i].block}
+			k := len(dirty)
+			dirty = append(dirty, x)
+			for k > 0 && dirty[k-1].block > x.block {
+				dirty[k] = dirty[k-1]
+				k--
+			}
+			dirty[k] = x
 		}
 	}
-	sort.Slice(dirty, func(a, b int) bool { return dirty[a].block < dirty[b].block })
+	d.wbDirty = dirty[:0]
 	// Find the maximal consecutive run containing `oldest`.
 	pos := -1
 	for k, x := range dirty {
@@ -550,10 +571,11 @@ func (d *Disk) pickWriteGroup() []int {
 	for hi+1 < len(dirty) && dirty[hi+1].block == dirty[hi].block+1 {
 		hi++
 	}
-	group := make([]int, 0, hi-lo+1)
+	group := d.wbGroup[:0]
 	for k := lo; k <= hi; k++ {
 		group = append(group, dirty[k].idx)
 	}
+	d.wbGroup = group[:0]
 	return group
 }
 
@@ -579,7 +601,8 @@ func (d *Disk) releaseNACKs() {
 	if n == 0 {
 		return
 	}
-	batch := append([]nackEntry(nil), d.nackFIFO[:n]...)
+	batch := append(d.nackBatch[:0], d.nackFIFO[:n]...)
+	d.nackBatch = batch[:0]
 	d.nackFIFO = append(d.nackFIFO[:0], d.nackFIFO[n:]...)
 	if d.NotifyOK == nil {
 		panic(fmt.Sprintf("disk %s: NACKed writes but NotifyOK unset", d.name))

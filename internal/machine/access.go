@@ -185,11 +185,13 @@ func (m *Machine) diskReadInto(p *sim.Proc, n *Node, page PageID) disk.ReadOutco
 	arrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
 	p.SleepUntil(arrive)
 	outcome := d.Read(p, n.ID, page, m.Layout.BlockFor(page))
-	stages := append([]sim.Stage{
-		{Res: m.Nodes[dn].IOBus, Occupy: m.Cfg.PageIOBusTime(), Forward: m.Cfg.HopLatency},
-	}, m.Mesh.PathStages(dn, n.ID, m.Cfg.PageSize)...)
+	stages := append(n.stageBuf[:0], sim.Stage{
+		Res: m.Nodes[dn].IOBus, Occupy: m.Cfg.PageIOBusTime(), Forward: m.Cfg.HopLatency,
+	})
+	stages = m.Mesh.AppendPathStages(stages, dn, n.ID, m.Cfg.PageSize)
 	stages = append(stages, sim.Stage{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime()})
 	_, dataArrive := sim.Pipeline(p.Now(), stages)
+	n.stageBuf = stages[:0]
 	p.SleepUntil(dataArrive)
 	return outcome
 }
@@ -200,10 +202,11 @@ func (m *Machine) diskReadInto(p *sim.Proc, n *Node, page PageID) disk.ReadOutco
 // paper measures.
 func (m *Machine) ringReadInto(p *sim.Proc, n *Node, en *optical.Entry) {
 	m.Ring.Snoop(p, en, n.ID)
-	stages := []sim.Stage{
-		{Res: n.IOBus, Occupy: m.Cfg.PageIOBusTime(), Forward: m.Cfg.HopLatency},
-		{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime()},
-	}
+	stages := append(n.stageBuf[:0],
+		sim.Stage{Res: n.IOBus, Occupy: m.Cfg.PageIOBusTime(), Forward: m.Cfg.HopLatency},
+		sim.Stage{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime()},
+	)
 	_, arrive := sim.Pipeline(p.Now(), stages)
+	n.stageBuf = stages[:0]
 	p.SleepUntil(arrive)
 }

@@ -56,10 +56,12 @@ func (m *Machine) ccAccess(p *sim.Proc, n *Node, home int, page PageID, sub int,
 			dataArrive = start + memDur
 		} else {
 			a := m.Mesh.Transit(now, n.ID, home, m.Cfg.CtrlMsgLen)
-			stages := append([]sim.Stage{
-				{Res: m.Nodes[home].MemBus, Occupy: memDur, Forward: m.Cfg.HopLatency},
-			}, m.Mesh.PathStages(home, n.ID, BlockBytes)...)
+			stages := append(n.stageBuf[:0], sim.Stage{
+				Res: m.Nodes[home].MemBus, Occupy: memDur, Forward: m.Cfg.HopLatency,
+			})
+			stages = m.Mesh.AppendPathStages(stages, home, n.ID, BlockBytes)
 			_, dataArrive = sim.Pipeline(a, stages)
+			n.stageBuf = stages[:0]
 		}
 
 	default:

@@ -72,19 +72,18 @@ func (m *Machine) explicitWrite(p *sim.Proc, n *Node, page PageID) {
 	d, dn := m.DiskFor(page)
 	block := m.Layout.BlockFor(page)
 	for {
-		stages := append([]sim.Stage{
-			{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
-		}, m.Mesh.PathStages(n.ID, dn, m.Cfg.PageSize)...)
+		stages := append(n.stageBuf[:0], sim.Stage{
+			Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency,
+		})
+		stages = m.Mesh.AppendPathStages(stages, n.ID, dn, m.Cfg.PageSize)
 		stages = append(stages, sim.Stage{Res: m.Nodes[dn].IOBus, Occupy: m.Cfg.PageIOBusTime()})
 		_, arrive := sim.Pipeline(p.Now(), stages)
+		n.stageBuf = stages[:0]
 		p.SleepUntil(arrive)
 		if d.Write(p, n.ID, page, block) == disk.ACK {
 			break
 		}
-		c := sim.NewCond(m.E)
-		n.okCond[page] = c
-		c.Wait(p)
-		delete(n.okCond, page)
+		n.waitOK(m.E, p, page)
 	}
 	ackArrive := m.Mesh.Transit(p.Now(), dn, n.ID, m.Cfg.CtrlMsgLen)
 	p.SleepUntil(ackArrive)

@@ -51,7 +51,9 @@ func TestFileWriteReachesDisk(t *testing.T) {
 	}
 	var mediaWrites uint64
 	for _, d := range m.Disks {
-		mediaWrites += d.MediaWrite
+		if d != nil {
+			mediaWrites += d.MediaWrite
+		}
 	}
 	if mediaWrites == 0 {
 		t.Fatal("explicit writes never reached the media")

@@ -82,20 +82,25 @@ func (m *Machine) CheckInvariants(postRun bool) error {
 				m.Ring.TotalUsed(), onRing)
 		}
 	}
-	// Frame conservation.
+	// Frame conservation: every frame is free, resident, reserved, or
+	// detached — the pool tracks each bucket explicitly.
 	for _, n := range m.Nodes {
-		if n.Pool.Free()+n.Pool.Resident() > n.Pool.Total() {
-			return fmt.Errorf("node %d: free %d + resident %d exceeds %d frames",
-				n.ID, n.Pool.Free(), n.Pool.Resident(), n.Pool.Total())
+		sum := n.Pool.Free() + n.Pool.Resident() + n.Pool.Reserved() + n.Pool.Detached()
+		if sum != n.Pool.Total() {
+			return fmt.Errorf("node %d: free %d + resident %d + reserved %d + detached %d != %d frames",
+				n.ID, n.Pool.Free(), n.Pool.Resident(), n.Pool.Reserved(), n.Pool.Detached(), n.Pool.Total())
 		}
-		if postRun && n.Pool.Free()+n.Pool.Resident() != n.Pool.Total() {
-			return fmt.Errorf("node %d: %d frames leaked after run",
-				n.ID, n.Pool.Total()-n.Pool.Free()-n.Pool.Resident())
+		if postRun && (n.Pool.Reserved() != 0 || n.Pool.Detached() != 0) {
+			return fmt.Errorf("node %d: %d reserved + %d detached frames leaked after run",
+				n.ID, n.Pool.Reserved(), n.Pool.Detached())
 		}
 	}
 	// Controller quiescence.
 	if postRun {
 		for node, d := range m.Disks {
+			if d == nil {
+				continue
+			}
 			if d.DirtySlots() != 0 {
 				return fmt.Errorf("disk@%d: %d dirty slots after run", node, d.DirtySlots())
 			}
@@ -107,6 +112,9 @@ func (m *Machine) CheckInvariants(postRun bool) error {
 			}
 		}
 		for node, f := range m.Ifaces {
+			if f == nil {
+				continue
+			}
 			if f.Pending() != 0 {
 				return fmt.Errorf("iface@%d: %d notices never drained", node, f.Pending())
 			}

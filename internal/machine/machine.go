@@ -64,10 +64,21 @@ type Node struct {
 
 	pendingIntr int64          // interrupt cycles to charge at next op
 	swapSem     *sim.Semaphore // bounds outstanding swap-outs
-	okCond      map[PageID]*sim.Cond
-	chanRoom    *sim.Cond    // NWCache: channel slot freed
-	ringTx      *sim.Mutex   // NWCache: the node's single fixed transmitter
-	WB          *writeBuffer // coalescing write buffer (nil when disabled)
+	okWaits     []okWait       // NACKed swap-outs awaiting the disk's OK
+	condPool    []*sim.Cond    // recycled conds for okWaits (retain capacity)
+	chanRoom    *sim.Cond      // NWCache: channel slot freed
+	ringTx      *sim.Mutex     // NWCache: the node's single fixed transmitter
+	WB          *writeBuffer   // coalescing write buffer (nil when disabled)
+
+	// Swap-out spawn plumbing, pooled so the replacement daemon's hot loop
+	// does not allocate a name and closure per swap-out.
+	swapName string     // "swapdisk<i>" or "swapring<i>" by machine kind
+	swapJobs []*swapJob // free list of recycled jobs
+
+	// stageBuf is the node's scratch for assembling sim.Pipeline stage
+	// sequences. Safe to share across this node's processes because stage
+	// assembly and the Pipeline reservations never yield the processor.
+	stageBuf []sim.Stage
 
 	// CPU accounting (the paper's Figures 3/4 categories).
 	CPU     stats.Breakdown
@@ -99,9 +110,9 @@ type Machine struct {
 	Mesh   *mesh.Mesh
 	Layout *pfs.Layout
 	Table  *vm.Table
-	Ring   *optical.Ring          // nil on Standard
-	Ifaces map[int]*optical.Iface // NWCache interfaces by I/O node id
-	Disks  map[int]*disk.Disk     // by I/O node id
+	Ring   *optical.Ring    // nil on Standard
+	Ifaces []*optical.Iface // NWCache interfaces indexed by node id (nil off I/O nodes)
+	Disks  []*disk.Disk     // indexed by node id (nil off I/O nodes)
 	Nodes  []*Node
 
 	// Dir is the machine-wide coherence directory (home state lives with
@@ -118,9 +129,53 @@ type Machine struct {
 	OpLog func(op OpEvent)
 
 	barrier *sim.Barrier
-	locks   map[int]*sim.Mutex
+	locks   []*sim.Mutex // application locks by id, grown on demand
 
 	rng *rand.Rand
+}
+
+// okWait is one swap-out (or explicit write) parked on a disk's OK message.
+type okWait struct {
+	page PageID
+	c    *sim.Cond
+}
+
+// swapJob carries one swap-out into its spawned process. Jobs are pooled
+// per node with the process body pre-bound, so issuing a swap-out performs
+// no allocation beyond the process itself.
+type swapJob struct {
+	en    *vm.Entry
+	page  PageID
+	start sim.Time
+	run   func(*sim.Proc)
+}
+
+// getOKCond takes a pooled cond (waiter FIFO capacity retained) for an OK
+// wait.
+func (n *Node) getOKCond(e *sim.Engine) *sim.Cond {
+	if k := len(n.condPool); k > 0 {
+		c := n.condPool[k-1]
+		n.condPool = n.condPool[:k-1]
+		return c
+	}
+	return sim.NewCond(e)
+}
+
+// waitOK parks p until the disk's OK for page arrives (deliverOK signals
+// the matching waiter).
+func (n *Node) waitOK(e *sim.Engine, p *sim.Proc, page PageID) {
+	c := n.getOKCond(e)
+	n.okWaits = append(n.okWaits, okWait{page: page, c: c})
+	c.Wait(p)
+	for i := range n.okWaits {
+		if n.okWaits[i].c == c {
+			last := len(n.okWaits) - 1
+			n.okWaits[i] = n.okWaits[last]
+			n.okWaits = n.okWaits[:last]
+			break
+		}
+	}
+	n.condPool = append(n.condPool, c)
 }
 
 // emit records a trace event if tracing is enabled.
@@ -142,11 +197,14 @@ func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) 
 		Mesh:   mesh.New(e, cfg),
 		Layout: pfs.New(cfg),
 		Table:  vm.NewTable(e),
-		Ifaces: make(map[int]*optical.Iface),
-		Disks:  make(map[int]*disk.Disk),
+		Ifaces: make([]*optical.Iface, cfg.Nodes),
+		Disks:  make([]*disk.Disk, cfg.Nodes),
 		Dir:    coherence.NewDirectory(),
-		locks:  make(map[int]*sim.Mutex),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	swapKind := "swapdisk"
+	if kind == NWCache {
+		swapKind = "swapring"
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
@@ -157,7 +215,7 @@ func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) 
 			CC:       coherence.NewCache(i, cfg.L2SubBlocks),
 			Pool:     vm.NewFramePool(e, i, cfg.FramesPerNode(), cfg.MinFreeFrames),
 			swapSem:  sim.NewSemaphore(e, cfg.SwapQueueDepth),
-			okCond:   make(map[PageID]*sim.Cond),
+			swapName: fmt.Sprintf("%s%d", swapKind, i),
 			chanRoom: sim.NewCond(e),
 			ringTx:   sim.NewMutex(e),
 		}
@@ -204,8 +262,12 @@ func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) 
 func (m *Machine) deliverOK(from, to int, page PageID) {
 	arrive := m.Mesh.Transit(m.E.Now(), from, to, m.Cfg.CtrlMsgLen)
 	m.E.At(arrive, func() {
-		if c, ok := m.Nodes[to].okCond[page]; ok {
-			c.Signal()
+		n := m.Nodes[to]
+		for i := range n.okWaits {
+			if n.okWaits[i].page == page {
+				n.okWaits[i].c.Signal()
+				return
+			}
 		}
 	})
 }
@@ -235,14 +297,21 @@ func (m *Machine) deliverRingACK(from int, en *optical.Entry) {
 	})
 }
 
-// Lock returns (creating on demand) an application-level lock.
+// Lock returns (creating on demand) an application-level lock. Lock ids
+// are small dense integers, so the registry is a slice grown on first use.
 func (m *Machine) Lock(id int) *sim.Mutex {
-	l, ok := m.locks[id]
-	if !ok {
-		l = sim.NewMutex(m.E)
-		m.locks[id] = l
+	if id < 0 {
+		panic(fmt.Sprintf("machine: negative lock id %d", id))
 	}
-	return l
+	if id >= len(m.locks) {
+		grown := make([]*sim.Mutex, id+id/2+4)
+		copy(grown, m.locks)
+		m.locks = grown
+	}
+	if m.locks[id] == nil {
+		m.locks[id] = sim.NewMutex(m.E)
+	}
+	return m.locks[id]
 }
 
 // DiskFor returns the disk and its node id for a page.

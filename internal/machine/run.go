@@ -114,7 +114,9 @@ func (m *Machine) collect(prog Program) *Result {
 	r.FaultHitLat = hitLat.Value()
 	var comb stats.Mean
 	for _, d := range m.Disks {
-		comb.Merge(d.Combining)
+		if d != nil {
+			comb.Merge(d.Combining)
+		}
 	}
 	r.Combining = comb.Value()
 	if r.Faults > 0 {

@@ -1,10 +1,7 @@
 package machine
 
 import (
-	"fmt"
-
 	"nwcache/internal/disk"
-	"nwcache/internal/optical"
 	"nwcache/internal/sim"
 	"nwcache/internal/trace"
 	"nwcache/internal/vm"
@@ -60,16 +57,37 @@ func (m *Machine) replaceLoop(p *sim.Proc, n *Node) {
 		m.emit(trace.SwapStart, n.ID, page, 0)
 		start := p.Now()
 		n.swapSem.Acquire(p) // bound outstanding swap-outs
-		if m.Kind == NWCache {
-			m.E.Spawn(fmt.Sprintf("swapring%d", n.ID), func(sp *sim.Proc) {
-				m.swapToRing(sp, n, en, page, start)
-			})
-		} else {
-			m.E.Spawn(fmt.Sprintf("swapdisk%d", n.ID), func(sp *sim.Proc) {
-				m.swapToDisk(sp, n, en, page, start)
-			})
+		job := n.takeJob(m)
+		job.en, job.page, job.start = en, page, start
+		m.E.Spawn(n.swapName, job.run)
+	}
+}
+
+// takeJob pops a pooled swap job (or builds one with its process body
+// pre-bound). The body returns the job to the pool when the swap-out
+// completes, so steady-state swap issue allocates nothing beyond the
+// process itself.
+func (n *Node) takeJob(m *Machine) *swapJob {
+	if k := len(n.swapJobs); k > 0 {
+		j := n.swapJobs[k-1]
+		n.swapJobs = n.swapJobs[:k-1]
+		return j
+	}
+	j := &swapJob{}
+	if m.Kind == NWCache {
+		j.run = func(sp *sim.Proc) {
+			m.swapToRing(sp, n, j.en, j.page, j.start)
+			j.en = nil
+			n.swapJobs = append(n.swapJobs, j)
+		}
+	} else {
+		j.run = func(sp *sim.Proc) {
+			m.swapToDisk(sp, n, j.en, j.page, j.start)
+			j.en = nil
+			n.swapJobs = append(n.swapJobs, j)
 		}
 	}
+	return j
 }
 
 // shootdown models the paper's TLB-shootdown: the initiating processor
@@ -107,21 +125,20 @@ func (m *Machine) swapToDisk(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	block := m.Layout.BlockFor(page)
 	for {
 		// Page transfer: memory bus -> mesh -> I/O bus at the disk node.
-		stages := append([]sim.Stage{
-			{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
-		}, m.Mesh.PathStages(n.ID, dn, m.Cfg.PageSize)...)
+		stages := append(n.stageBuf[:0], sim.Stage{
+			Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency,
+		})
+		stages = m.Mesh.AppendPathStages(stages, n.ID, dn, m.Cfg.PageSize)
 		stages = append(stages, sim.Stage{Res: m.Nodes[dn].IOBus, Occupy: m.Cfg.PageIOBusTime()})
 		_, arrive := sim.Pipeline(p.Now(), stages)
+		n.stageBuf = stages[:0]
 		p.SleepUntil(arrive)
 		if d.Write(p, n.ID, page, block) == disk.ACK {
 			break
 		}
 		// NACKed: the controller recorded us; wait for its OK message.
 		m.emit(trace.DiskNACK, n.ID, page, int64(dn))
-		c := sim.NewCond(m.E)
-		n.okCond[page] = c
-		c.Wait(p)
-		delete(n.okCond, page)
+		n.waitOK(m.E, p, page)
 		m.emit(trace.DiskOK, n.ID, page, int64(dn))
 	}
 	// ACK message back across the mesh; the frame is reusable on receipt.
@@ -153,11 +170,12 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	for !m.Ring.HasRoomFor(n.ID) {
 		n.chanRoom.Wait(p)
 	}
-	stages := []sim.Stage{
-		{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
-		{Res: n.IOBus, Occupy: m.Cfg.PageIOBusTime()},
-	}
+	stages := append(n.stageBuf[:0],
+		sim.Stage{Res: n.MemBus, Occupy: m.Cfg.PageMemBusTime(), Forward: m.Cfg.HopLatency},
+		sim.Stage{Res: n.IOBus, Occupy: m.Cfg.PageIOBusTime()},
+	)
 	_, arrive := sim.Pipeline(p.Now(), stages)
+	n.stageBuf = stages[:0]
 	p.SleepUntil(arrive)
 	p.Sleep(m.Cfg.PageRingTime()) // modulation onto the writable channel
 	entry := m.Ring.Insert(n.ID, page)
@@ -177,9 +195,9 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	en.Dirty = true // the disk has not seen this data yet
 	en.Arrived.Broadcast()
 	en.Lock.Unlock()
-	// Notice to the I/O node responsible for the page.
+	// notice to the I/O node responsible for the page.
 	_, dn := m.DiskFor(page)
 	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
 	iface := m.Ifaces[dn]
-	m.E.At(noticeArrive, func() { iface.Notify(&optical.Notice{Entry: entry}) })
+	m.E.At(noticeArrive, func() { iface.Notify(entry) })
 }

@@ -13,46 +13,55 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"nwcache/internal/coherence"
 	"nwcache/internal/sim"
 	"nwcache/internal/vm"
 )
 
-// wbEntry is one pending write.
-type wbEntry struct {
-	page PageID
-	sub  int
+// maxWBPage bounds the page numbers whose packed block key fits in int64.
+// Pages come from a dense bump allocator starting at 0, so real workloads
+// sit many orders of magnitude below the bound; the check in wbKey makes
+// the packing overflow-safe rather than silently aliasing blocks.
+const maxWBPage = math.MaxInt64 / coherence.SubPerPage
+
+// wbKey packs a block id. The caller's sub is in [0, SubPerPage).
+func wbKey(page PageID, sub int) int64 {
+	if page < 0 || page > maxWBPage {
+		panic(fmt.Sprintf("machine: write-buffer page %d out of packable range", page))
+	}
+	return int64(page)*coherence.SubPerPage + int64(sub)
 }
 
-// writeBuffer is one node's coalescing write buffer.
+// writeBuffer is one node's coalescing write buffer: a fixed ring of
+// packed block keys sized by the configured depth. The coalescing check
+// scans the (small, bounded) ring instead of keeping a side map, so the
+// enqueue/drain cycle allocates nothing.
 type writeBuffer struct {
-	depth   int
-	q       []wbEntry
-	pending map[int64]bool // coalescing set: page*SubPerPage+sub
-	inFly   bool           // an entry is being drained right now
-	kick    *sim.Cond      // work available
-	room    *sim.Cond      // slot freed
-	empty   *sim.Cond      // fully drained
+	depth    int
+	keys     []int64 // ring storage, len == depth
+	head     int     // index of the oldest queued entry
+	count    int     // queued entries
+	inFly    bool    // an entry is being drained right now
+	inFlyKey int64
+	kick     *sim.Cond // work available
+	room     *sim.Cond // slot freed
+	empty    *sim.Cond // fully drained
 
 	Coalesced uint64
 	Drained   uint64
 	FullWaits uint64
 }
 
-// wbKey packs a block id.
-func wbKey(page PageID, sub int) int64 {
-	return int64(page)*coherence.SubPerPage + int64(sub)
-}
-
 // newWriteBuffer builds the buffer and starts its drain daemon.
 func newWriteBuffer(m *Machine, n *Node, depth int) *writeBuffer {
 	wb := &writeBuffer{
-		depth:   depth,
-		pending: make(map[int64]bool),
-		kick:    sim.NewCond(m.E),
-		room:    sim.NewCond(m.E),
-		empty:   sim.NewCond(m.E),
+		depth: depth,
+		keys:  make([]int64, depth),
+		kick:  sim.NewCond(m.E),
+		room:  sim.NewCond(m.E),
+		empty: sim.NewCond(m.E),
 	}
 	m.E.SpawnDaemon(fmt.Sprintf("wbuf%d", n.ID), func(p *sim.Proc) {
 		wb.drainLoop(p, m, n)
@@ -60,17 +69,31 @@ func newWriteBuffer(m *Machine, n *Node, depth int) *writeBuffer {
 	return wb
 }
 
+// holdsKey reports whether a write to the packed block key is pending —
+// queued or mid-drain (a drain holds its slot until it retires).
+func (wb *writeBuffer) holdsKey(k int64) bool {
+	if wb.inFly && wb.inFlyKey == k {
+		return true
+	}
+	for i := 0; i < wb.count; i++ {
+		if wb.keys[(wb.head+i)%wb.depth] == k {
+			return true
+		}
+	}
+	return false
+}
+
 // holds reports whether a write to the block is pending (read-after-write
 // forwarding: the processor sees its own buffered writes).
 func (wb *writeBuffer) holds(page PageID, sub int) bool {
-	return wb.pending[wbKey(page, sub)]
+	return wb.holdsKey(wbKey(page, sub))
 }
 
 // enqueue adds a write, coalescing with pending writes to the same block
 // (reported by the return value) and stalling p while the buffer is full.
 func (wb *writeBuffer) enqueue(p *sim.Proc, page PageID, sub int) (coalesced bool) {
 	k := wbKey(page, sub)
-	if wb.pending[k] {
+	if wb.holdsKey(k) {
 		wb.Coalesced++
 		return true
 	}
@@ -78,8 +101,8 @@ func (wb *writeBuffer) enqueue(p *sim.Proc, page PageID, sub int) (coalesced boo
 		wb.FullWaits++
 		wb.room.Wait(p)
 	}
-	wb.pending[k] = true
-	wb.q = append(wb.q, wbEntry{page: page, sub: sub})
+	wb.keys[(wb.head+wb.count)%wb.depth] = k
+	wb.count++
 	wb.kick.Signal()
 	return false
 }
@@ -87,17 +110,20 @@ func (wb *writeBuffer) enqueue(p *sim.Proc, page PageID, sub int) (coalesced boo
 // occupancy counts queued plus in-flight writes (an entry being drained
 // still holds its buffer slot).
 func (wb *writeBuffer) occupancy() int {
-	n := len(wb.q)
+	n := wb.count
 	if wb.inFly {
 		n++
 	}
 	return n
 }
 
+// queued returns the number of entries waiting to drain (tests).
+func (wb *writeBuffer) queued() int { return wb.count }
+
 // fence waits until every buffered write has retired (a release operation
 // under Release Consistency).
 func (wb *writeBuffer) fence(p *sim.Proc) {
-	for len(wb.q) > 0 || wb.inFly {
+	for wb.count > 0 || wb.inFly {
 		wb.empty.Wait(p)
 	}
 }
@@ -105,24 +131,26 @@ func (wb *writeBuffer) fence(p *sim.Proc) {
 // drainLoop retires buffered writes through the coherence protocol.
 func (wb *writeBuffer) drainLoop(p *sim.Proc, m *Machine, n *Node) {
 	for {
-		if len(wb.q) == 0 {
+		if wb.count == 0 {
 			wb.kick.Wait(p)
 			continue
 		}
-		ent := wb.q[0]
-		wb.q = wb.q[1:]
+		k := wb.keys[wb.head]
+		wb.head = (wb.head + 1) % wb.depth
+		wb.count--
 		wb.inFly = true
+		wb.inFlyKey = k
+		page, sub := PageID(k/coherence.SubPerPage), int(k%coherence.SubPerPage)
 		// The page may have been swapped out since the write was
 		// buffered; its frame-level dirtiness was recorded at issue time,
 		// so the entry simply retires.
-		if en, ok := m.Table.Lookup(ent.page); ok && en.State == vm.Resident {
-			m.ccAccess(p, n, en.Owner, ent.page, ent.sub, true)
+		if en, ok := m.Table.Lookup(page); ok && en.State == vm.Resident {
+			m.ccAccess(p, n, en.Owner, page, sub, true)
 		}
-		delete(wb.pending, wbKey(ent.page, ent.sub))
 		wb.Drained++
 		wb.inFly = false
 		wb.room.Signal()
-		if len(wb.q) == 0 {
+		if wb.count == 0 {
 			wb.empty.Broadcast()
 		}
 	}

@@ -8,6 +8,12 @@
 // full occupancy for contention purposes. This mirrors the paper's
 // "network contention fully modeled" claim at the granularity relevant to
 // page traffic.
+//
+// XY routes are deterministic, so every (src, dst) resource path is
+// precomputed at construction; Transit walks the path with the same
+// reservation arithmetic as sim.Pipeline without materializing a stage
+// slice, and AppendPathStages emits stages into a caller-provided buffer —
+// the per-message cost is zero heap allocations.
 package mesh
 
 import (
@@ -40,6 +46,11 @@ type Mesh struct {
 	links  [][]*sim.Resource // [node][dir], nil at edges
 	inject []*sim.Resource   // per-node injection port (NI out)
 	eject  []*sim.Resource   // per-node ejection port (NI in)
+
+	// paths[src*n+dst] is the full resource sequence a message crosses:
+	// inject[src], each XY-route link, eject[dst]. Shared slices into one
+	// backing array, built once at New.
+	paths [][]*sim.Resource
 
 	// Messages counts delivered messages; Bytes counts payload bytes.
 	Messages uint64
@@ -77,6 +88,31 @@ func New(e *sim.Engine, cfg param.Config) *Mesh {
 		m.inject[i] = sim.NewResource(e, fmt.Sprintf("ni%d.out", i))
 		m.eject[i] = sim.NewResource(e, fmt.Sprintf("ni%d.in", i))
 	}
+	// Precompute every (src, dst) resource path into one flat backing array.
+	total := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			total += m.Hops(src, dst) + 2
+		}
+	}
+	backing := make([]*sim.Resource, 0, total)
+	m.paths = make([][]*sim.Resource, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			lo := len(backing)
+			backing = append(backing, m.inject[src])
+			for _, h := range m.Route(src, dst) {
+				node, dir := h/int(numDirs), Dir(h%int(numDirs))
+				res := m.links[node][dir]
+				if res == nil {
+					panic(fmt.Sprintf("mesh: route used missing link node %d dir %d", node, dir))
+				}
+				backing = append(backing, res)
+			}
+			backing = append(backing, m.eject[dst])
+			m.paths[src*n+dst] = backing[lo:len(backing):len(backing)]
+		}
+	}
 	return m
 }
 
@@ -84,7 +120,8 @@ func New(e *sim.Engine, cfg param.Config) *Mesh {
 func (m *Mesh) Nodes() int { return m.w * m.h }
 
 // Route returns the XY route from src to dst as a sequence of (node, dir)
-// hops. An empty route means src == dst.
+// hops. An empty route means src == dst. Route allocates; the hot paths use
+// the precomputed resource paths instead (Transit, AppendPathStages).
 func (m *Mesh) Route(src, dst int) []int {
 	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: route %d->%d out of range", src, dst))
@@ -120,41 +157,65 @@ func (m *Mesh) Route(src, dst int) []int {
 func (m *Mesh) Hops(src, dst int) int {
 	sx, sy := src%m.w, src/m.w
 	dx, dy := dst%m.w, dst/m.w
-	abs := func(v int) int {
-		if v < 0 {
-			return -v
-		}
-		return v
+	h := sx - dx
+	if h < 0 {
+		h = -h
 	}
-	return abs(sx-dx) + abs(sy-dy)
+	v := sy - dy
+	if v < 0 {
+		v = -v
+	}
+	return h + v
 }
 
-// PathStages returns the pipeline stages a message of `bytes` crosses from
-// src to dst: injection port, each link on the XY route, ejection port.
-// Callers may prepend/append further stages (e.g. a memory bus at the
-// source and an I/O bus at the destination) before running sim.Pipeline.
-func (m *Mesh) PathStages(src, dst, bytes int) []sim.Stage {
-	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
-	stages := make([]sim.Stage, 0, m.Hops(src, dst)+2)
-	stages = append(stages, sim.Stage{Res: m.inject[src], Occupy: occupy, Forward: m.hopLat})
-	for _, h := range m.Route(src, dst) {
-		node, dir := h/int(numDirs), Dir(h%int(numDirs))
-		res := m.links[node][dir]
-		if res == nil {
-			panic(fmt.Sprintf("mesh: route used missing link node %d dir %d", node, dir))
-		}
-		stages = append(stages, sim.Stage{Res: res, Occupy: occupy, Forward: m.hopLat})
+// path returns the precomputed resource sequence for src -> dst.
+func (m *Mesh) path(src, dst int) []*sim.Resource {
+	n := m.Nodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("mesh: path %d->%d out of range", src, dst))
 	}
-	stages = append(stages, sim.Stage{Res: m.eject[dst], Occupy: occupy, Forward: m.hopLat})
-	return stages
+	return m.paths[src*n+dst]
+}
+
+// AppendPathStages appends the pipeline stages a message of `bytes` crosses
+// from src to dst (injection port, each link on the XY route, ejection
+// port) to buf and returns the extended slice. Callers reuse a scratch
+// buffer and may surround the mesh stages with further stages (e.g. a
+// memory bus at the source and an I/O bus at the destination) before
+// running sim.Pipeline.
+func (m *Mesh) AppendPathStages(buf []sim.Stage, src, dst, bytes int) []sim.Stage {
+	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
+	for _, res := range m.path(src, dst) {
+		buf = append(buf, sim.Stage{Res: res, Occupy: occupy, Forward: m.hopLat})
+	}
+	return buf
+}
+
+// PathStages returns the stages as a fresh slice. Prefer AppendPathStages
+// on hot paths.
+func (m *Mesh) PathStages(src, dst, bytes int) []sim.Stage {
+	return m.AppendPathStages(make([]sim.Stage, 0, m.Hops(src, dst)+2), src, dst, bytes)
 }
 
 // Transit reserves the path for a message of `bytes` from src to dst
 // beginning no earlier than `earliest`, and returns the simulated arrival
 // time of the full payload at dst. It does not block any process; callers
-// sleep or schedule follow-up events at the returned time.
+// sleep or schedule follow-up events at the returned time. Transit performs
+// the same cut-through reservation arithmetic as sim.Pipeline directly over
+// the precomputed path, with no per-call allocation.
 func (m *Mesh) Transit(earliest sim.Time, src, dst, bytes int) (arrive sim.Time) {
-	_, arrive = sim.Pipeline(earliest, m.PathStages(src, dst, bytes))
+	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
+	path := m.path(src, dst)
+	start := path[0].Reserve(earliest, occupy)
+	arrive = start + occupy
+	prevStart := start
+	for _, res := range path[1:] {
+		s := res.Reserve(prevStart+m.hopLat, occupy)
+		if end := s + occupy; end > arrive {
+			arrive = end
+		}
+		prevStart = s
+	}
 	m.Messages++
 	m.Bytes += int64(bytes)
 	return arrive

@@ -4,11 +4,59 @@ import (
 	"nwcache/internal/sim"
 )
 
-// Notice is the control message a swapping node sends to the NWCache
-// interface of the I/O node responsible for a page: "page P from node N is
-// on channel N, write it to your disk eventually".
-type Notice struct {
-	Entry *Entry
+// chanFIFO is one cache channel's queue of swap-out notices, in original
+// swap-out order. It is head-indexed: popping advances head instead of
+// reslicing, so the backing array's capacity is kept and the steady-state
+// enqueue/pop churn never allocates. The buffer compacts (resets to its
+// start) whenever it empties.
+type chanFIFO struct {
+	q    []*Entry
+	head int
+}
+
+func (f *chanFIFO) len() int { return len(f.q) - f.head }
+
+func (f *chanFIFO) push(en *Entry) { f.q = append(f.q, en) }
+
+func (f *chanFIFO) front() *Entry { return f.q[f.head] }
+
+func (f *chanFIFO) pop() {
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+}
+
+// unpop restores the most recently popped entry at the FRONT of the queue
+// (retry after a lost slot race). The popped slot at q[head-1] survives
+// unless the pop compacted the queue; in that case en is shifted in ahead
+// of anything that arrived since.
+func (f *chanFIFO) unpop(en *Entry) {
+	if f.head > 0 {
+		f.head--
+		f.q[f.head] = en
+		return
+	}
+	f.q = append(f.q, nil)
+	copy(f.q[1:], f.q)
+	f.q[0] = en
+}
+
+// remove drops the first occurrence of en, preserving order.
+func (f *chanFIFO) remove(en *Entry) bool {
+	for i := f.head; i < len(f.q); i++ {
+		if f.q[i] == en {
+			copy(f.q[i:], f.q[i+1:])
+			f.q = f.q[:len(f.q)-1]
+			if f.head == len(f.q) {
+				f.q = f.q[:0]
+				f.head = 0
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Iface is the NWCache interface of one I/O-enabled node: it keeps one
@@ -22,7 +70,7 @@ type Iface struct {
 	ring *Ring
 	node int // the I/O node this interface is plugged into
 
-	fifos [][]*Notice // per channel, FIFO
+	fifos []chanFIFO // per channel, FIFO
 	kick  *sim.Cond
 
 	// DrainPolicy selects which channel to drain next; default MostLoaded.
@@ -64,16 +112,17 @@ func NewIface(e *sim.Engine, ring *Ring, node int) *Iface {
 		e:     e,
 		ring:  ring,
 		node:  node,
-		fifos: make([][]*Notice, ring.Channels()),
+		fifos: make([]chanFIFO, ring.Channels()),
 		kick:  sim.NewCond(e),
 	}
 	e.SpawnDaemon("nwc-iface", f.drainLoop)
 	return f
 }
 
-// Notify enqueues a swap-out notice (invoked at message arrival time).
-func (f *Iface) Notify(n *Notice) {
-	f.fifos[n.Entry.Channel] = append(f.fifos[n.Entry.Channel], n)
+// Notify enqueues a swap-out notice: "page P from node N is on channel N,
+// write it to your disk eventually" (invoked at message arrival time).
+func (f *Iface) Notify(en *Entry) {
+	f.fifos[en.Channel].push(en)
 	f.kick.Signal()
 }
 
@@ -85,25 +134,19 @@ func (f *Iface) Kick() { f.kick.Signal() }
 // notice is dropped from its FIFO and the ACK is sent to the swapper.
 // The caller (fault path) has already Claimed the entry.
 func (f *Iface) Cancel(en *Entry) {
-	q := f.fifos[en.Channel]
-	for i, n := range q {
-		if n.Entry == en {
-			f.fifos[en.Channel] = append(q[:i], q[i+1:]...)
-			break
-		}
-	}
+	f.fifos[en.Channel].remove(en)
 	f.Canceled++
 	f.SendACK(en)
 }
 
 // PendingOn returns the FIFO depth for a channel.
-func (f *Iface) PendingOn(ch int) int { return len(f.fifos[ch]) }
+func (f *Iface) PendingOn(ch int) int { return f.fifos[ch].len() }
 
 // Pending returns the total queued notices.
 func (f *Iface) Pending() int {
 	t := 0
-	for _, q := range f.fifos {
-		t += len(q)
+	for i := range f.fifos {
+		t += f.fifos[i].len()
 	}
 	return t
 }
@@ -114,7 +157,7 @@ func (f *Iface) pickChannel(rr *int) int {
 	case RoundRobin:
 		for k := 0; k < len(f.fifos); k++ {
 			ch := (*rr + k) % len(f.fifos)
-			if len(f.fifos[ch]) > 0 {
+			if f.fifos[ch].len() > 0 {
 				*rr = (ch + 1) % len(f.fifos)
 				return ch
 			}
@@ -122,9 +165,9 @@ func (f *Iface) pickChannel(rr *int) int {
 		return -1
 	default: // MostLoaded
 		best, bestLen := -1, 0
-		for ch, q := range f.fifos {
-			if len(q) > bestLen {
-				best, bestLen = ch, len(q)
+		for ch := range f.fifos {
+			if n := f.fifos[ch].len(); n > bestLen {
+				best, bestLen = ch, n
 			}
 		}
 		return best
@@ -148,17 +191,16 @@ func (f *Iface) drainLoop(p *sim.Proc) {
 		f.Batches++
 		// Exhaust this channel's swap-outs before switching (paper §3.2
 		// property b), as long as the disk keeps providing room.
-		for len(f.fifos[ch]) > 0 && f.DiskHasRoom() {
-			n := f.fifos[ch][0]
-			en := n.Entry
+		for f.fifos[ch].len() > 0 && f.DiskHasRoom() {
+			en := f.fifos[ch].front()
 			if en.State != OnRing {
 				// Claimed by a victim read (Cancel will drop it) or
 				// already gone; skip past it.
-				f.fifos[ch] = f.fifos[ch][1:]
+				f.fifos[ch].pop()
 				continue
 			}
 			en.State = Draining
-			f.fifos[ch] = f.fifos[ch][1:]
+			f.fifos[ch].pop()
 			// Wait for the page to circulate past this interface and
 			// stream it off the fiber. The disk is plugged directly into
 			// the NWCache interface, so the copy bypasses the node's
@@ -167,7 +209,7 @@ func (f *Iface) drainLoop(p *sim.Proc) {
 			if !f.DiskInstall(p, en.Page) {
 				// Lost the slot race; put the notice back and retry.
 				en.State = OnRing
-				f.fifos[ch] = append([]*Notice{n}, f.fifos[ch]...)
+				f.fifos[ch].unpop(en)
 				continue
 			}
 			f.Drained++

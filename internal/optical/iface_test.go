@@ -45,7 +45,7 @@ func TestDrainCopiesInSwapOutOrder(t *testing.T) {
 	e.Spawn("swapper", func(p *sim.Proc) {
 		for i := 0; i < 4; i++ {
 			en := r.Insert(1, PageID(100+i))
-			f.Notify(&Notice{Entry: en})
+			f.Notify(en)
 			p.Sleep(10)
 		}
 	})
@@ -78,10 +78,10 @@ func TestMostLoadedChannelDrainedFirst(t *testing.T) {
 		n5a := r.Insert(5, 500)
 		n5b := r.Insert(5, 501)
 		n5c := r.Insert(5, 502)
-		f.Notify(&Notice{Entry: n5a})
-		f.Notify(&Notice{Entry: n5b})
-		f.Notify(&Notice{Entry: n5c})
-		f.Notify(&Notice{Entry: n1})
+		f.Notify(n5a)
+		f.Notify(n5b)
+		f.Notify(n5c)
+		f.Notify(n1)
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -105,10 +105,10 @@ func TestRoundRobinPolicyAlternates(t *testing.T) {
 		a1 := r.Insert(1, 11)
 		b0 := r.Insert(6, 60)
 		b1 := r.Insert(6, 61)
-		f.Notify(&Notice{Entry: a0})
-		f.Notify(&Notice{Entry: a1})
-		f.Notify(&Notice{Entry: b0})
-		f.Notify(&Notice{Entry: b1})
+		f.Notify(a0)
+		f.Notify(a1)
+		f.Notify(b0)
+		f.Notify(b1)
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestDrainStopsWhenDiskFull(t *testing.T) {
 	e.Spawn("swapper", func(p *sim.Proc) {
 		for i := 0; i < 4; i++ {
 			en := r.Insert(3, PageID(i))
-			f.Notify(&Notice{Entry: en})
+			f.Notify(en)
 		}
 		// Give the drain loop ample time, then observe it stalled at the
 		// disk's capacity.
@@ -164,7 +164,7 @@ func TestCancelDropsNoticeAndACKs(t *testing.T) {
 	e, r, f, d, acks := newIfaceHarness(0) // no disk room: nothing drains
 	e.Spawn("fault", func(p *sim.Proc) {
 		en := r.Insert(4, 77)
-		f.Notify(&Notice{Entry: en})
+		f.Notify(en)
 		p.Sleep(100)
 		// Victim read claims the page off the ring.
 		en.State = Claimed
@@ -195,8 +195,8 @@ func TestClaimedEntrySkippedByDrain(t *testing.T) {
 		en2 := r.Insert(2, 2)
 		// Claim en1 (victim read in progress) before the drain sees room.
 		en1.State = Claimed
-		f.Notify(&Notice{Entry: en1})
-		f.Notify(&Notice{Entry: en2})
+		f.Notify(en1)
+		f.Notify(en2)
 		p.Sleep(2 * r.RoundTrip())
 		// Finish the victim read.
 		f.Cancel(en1)
@@ -237,7 +237,7 @@ func TestDrainRetriesWhenInstallRaces(t *testing.T) {
 	}
 	e.Spawn("swapper", func(p *sim.Proc) {
 		en := r.Insert(3, 42)
-		f.Notify(&Notice{Entry: en})
+		f.Notify(en)
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -265,9 +265,9 @@ func TestPendingCounts(t *testing.T) {
 	f.DiskInstall = func(p *sim.Proc, page PageID) bool { return true }
 	f.SendACK = func(en *Entry) { r.Release(en) }
 	e.Spawn("s", func(p *sim.Proc) {
-		f.Notify(&Notice{Entry: r.Insert(1, 10)})
-		f.Notify(&Notice{Entry: r.Insert(1, 11)})
-		f.Notify(&Notice{Entry: r.Insert(5, 50)})
+		f.Notify(r.Insert(1, 10))
+		f.Notify(r.Insert(1, 11))
+		f.Notify(r.Insert(5, 50))
 		if f.PendingOn(1) != 2 || f.PendingOn(5) != 1 || f.Pending() != 3 {
 			t.Errorf("pending counts: ch1=%d ch5=%d total=%d",
 				f.PendingOn(1), f.PendingOn(5), f.Pending())

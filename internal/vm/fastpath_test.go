@@ -1,0 +1,145 @@
+package vm
+
+import (
+	"testing"
+
+	"nwcache/internal/sim"
+)
+
+// checkConservation asserts the pool's frame-conservation invariant:
+// every frame is in exactly one of the four states.
+func checkConservation(t *testing.T, f *FramePool, at string) {
+	t.Helper()
+	got := f.Free() + f.Resident() + f.Reserved() + f.Detached()
+	if got != f.Total() {
+		t.Fatalf("%s: free %d + resident %d + reserved %d + detached %d = %d, want total %d",
+			at, f.Free(), f.Resident(), f.Reserved(), f.Detached(), got, f.Total())
+	}
+}
+
+// TestFramePoolConservation walks a frame through every state transition
+// the fault/swap paths use and checks free+resident+reserved+detached ==
+// total after each step.
+func TestFramePoolConservation(t *testing.T) {
+	e := sim.New()
+	f := NewFramePool(e, 0, 8, 1)
+	checkConservation(t, f, "fresh")
+
+	// Fault path: reserve, fill, adopt.
+	f.Reserve()
+	if f.Reserved() != 1 {
+		t.Fatalf("Reserved() = %d after Reserve", f.Reserved())
+	}
+	checkConservation(t, f, "reserved")
+	f.AdoptReserved(3)
+	checkConservation(t, f, "adopted")
+
+	// Fault resolved another way: reservation returned unused.
+	f.Reserve()
+	f.Unreserve()
+	checkConservation(t, f, "unreserved")
+
+	// Swap-out path: unmap (frame still holds data), then release.
+	f.Alloc(7)
+	checkConservation(t, f, "alloc")
+	f.Unmap(7)
+	if f.Detached() != 1 {
+		t.Fatalf("Detached() = %d after Unmap", f.Detached())
+	}
+	checkConservation(t, f, "unmapped")
+	f.ReleaseFrame()
+	checkConservation(t, f, "released")
+
+	// Synchronous eviction of a clean page.
+	f.Touch(3)
+	f.Remove(3)
+	checkConservation(t, f, "removed")
+
+	if f.Free() != f.Total() {
+		t.Fatalf("pool did not return to all-free: free %d of %d", f.Free(), f.Total())
+	}
+}
+
+// TestFramePoolMisusePanics pins the precise panic for each accounting
+// violation (the invariant counters must not silently drift negative).
+func TestFramePoolMisusePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := sim.New()
+	f := NewFramePool(e, 0, 4, 1)
+	mustPanic("Unreserve", func() { f.Unreserve() })
+	mustPanic("AdoptReserved", func() { f.AdoptReserved(0) })
+	mustPanic("ReleaseFrame", func() { f.ReleaseFrame() })
+	f.Alloc(1)
+	mustPanic("double-adopt", func() { f.Reserve(); f.AdoptReserved(1) })
+}
+
+// TestFramePoolHotPathZeroAlloc pins the steady-state allocation-free
+// property of the Touch / Alloc / Remove churn (after the one-time slotOf
+// growth) and of page-table lookups on existing entries.
+func TestFramePoolHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inserts allocations")
+	}
+	e := sim.New()
+	f := NewFramePool(e, 0, 16, 1)
+	// Warm up: touch the full page range once so slotOf is grown.
+	for pg := PageID(0); pg < 64; pg++ {
+		f.Alloc(pg % 14)
+		f.Remove(pg % 14)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		f.Alloc(5)
+		f.Touch(5)
+		f.Touch(5)
+		f.Remove(5)
+	}); avg != 0 {
+		t.Fatalf("frame churn allocates %.2f/op", avg)
+	}
+
+	tbl := NewTable(e)
+	for pg := PageID(0); pg < 64; pg++ {
+		tbl.Get(pg)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		tbl.Get(17)
+		tbl.Lookup(42)
+	}); avg != 0 {
+		t.Fatalf("page-table lookup allocates %.2f/op", avg)
+	}
+}
+
+// BenchmarkFramePoolTouch measures the LRU refresh on the per-access path.
+func BenchmarkFramePoolTouch(b *testing.B) {
+	e := sim.New()
+	f := NewFramePool(e, 0, 64, 1)
+	for pg := PageID(0); pg < 63; pg++ {
+		f.Alloc(pg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Touch(PageID(i % 63))
+	}
+}
+
+// BenchmarkFramePoolEvict measures the alloc/evict cycle of the
+// replacement path (reserve, adopt, unmap, release).
+func BenchmarkFramePoolEvict(b *testing.B) {
+	e := sim.New()
+	f := NewFramePool(e, 0, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := PageID(i % 1024)
+		f.Reserve()
+		f.AdoptReserved(pg)
+		f.Unmap(pg)
+		f.ReleaseFrame()
+	}
+}

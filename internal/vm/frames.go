@@ -1,23 +1,54 @@
 package vm
 
 import (
-	"container/list"
 	"fmt"
 
 	"nwcache/internal/sim"
 )
 
+// frameNode is one slot of the intrusive LRU list: the resident page plus
+// index links into the dense frame array. Slots not on the LRU list sit on
+// the free-slot stack (linked through next).
+type frameNode struct {
+	page PageID
+	prev int32 // toward MRU; -1 at head
+	next int32 // toward LRU; -1 at tail / end of free stack
+}
+
 // FramePool manages one node's physical page frames: a free count, the LRU
-// list of resident pages, and the operating system's minimum-free-frames
+// order of resident pages, and the operating system's minimum-free-frames
 // floor that triggers replacement.
+//
+// The LRU is an index-linked intrusive list over a dense slot array with a
+// page->slot side index, so the per-access hot path (Touch, Contains,
+// Alloc/Remove churn) performs zero heap allocations in steady state —
+// unlike the former container/list + map[PageID]*list.Element layout, which
+// allocated a list element and a map cell per page installed.
 type FramePool struct {
 	node    int
 	total   int
 	free    int
 	minFree int
 
-	lru     *list.List // front = most recently used page
-	present map[PageID]*list.Element
+	// Frames not free are in exactly one of three states, and the pool
+	// tracks each explicitly so misuse panics name the real violation:
+	//   resident — on the LRU list (lruLen)
+	//   reserved — consumed by Reserve, not yet bound to a page
+	//   detached — unmapped by Unmap, awaiting ReleaseFrame
+	// Invariant: free + lruLen + reserved + detached == total.
+	reserved int
+	detached int
+
+	nodes  []frameNode
+	head   int32 // most recently used; -1 when empty
+	tail   int32 // least recently used; -1 when empty
+	fslots int32 // top of free-slot stack (linked via next); -1 when empty
+	lruLen int
+
+	// slotOf maps page -> slot+1 (0 = not present), grown on demand. Pages
+	// are a dense 0..N range machine-wide (workload.Space hands them out
+	// from a bump allocator), so a slice is both compact and exact.
+	slotOf []int32
 
 	// FrameFreed is broadcast whenever a frame becomes free, waking
 	// processors stalled in NoFree and the replacement daemon.
@@ -26,7 +57,10 @@ type FramePool struct {
 	// replacement daemon.
 	Pressure *sim.Cond
 
-	// Statistics.
+	// Statistics. Evictions counts frames recovered from resident pages,
+	// whether synchronously (Remove: clean page dropped) or at the end of a
+	// swap-out (ReleaseFrame). Unreserve is not an eviction: the frame never
+	// held a page.
 	Allocs    uint64
 	Evictions uint64
 }
@@ -36,16 +70,24 @@ func NewFramePool(e *sim.Engine, node, frames, minFree int) *FramePool {
 	if minFree < 1 || minFree >= frames {
 		panic(fmt.Sprintf("vm: node %d: minFree %d out of range for %d frames", node, minFree, frames))
 	}
-	return &FramePool{
+	f := &FramePool{
 		node:       node,
 		total:      frames,
 		free:       frames,
 		minFree:    minFree,
-		lru:        list.New(),
-		present:    make(map[PageID]*list.Element),
+		nodes:      make([]frameNode, frames),
+		head:       -1,
+		tail:       -1,
 		FrameFreed: sim.NewCond(e),
 		Pressure:   sim.NewCond(e),
 	}
+	// Thread all slots onto the free-slot stack.
+	f.fslots = -1
+	for i := frames - 1; i >= 0; i-- {
+		f.nodes[i].next = f.fslots
+		f.fslots = int32(i)
+	}
+	return f
 }
 
 // Free returns the current free-frame count.
@@ -58,7 +100,15 @@ func (f *FramePool) Total() int { return f.total }
 func (f *FramePool) MinFree() int { return f.minFree }
 
 // Resident returns the number of pages mapped in this pool.
-func (f *FramePool) Resident() int { return f.lru.Len() }
+func (f *FramePool) Resident() int { return f.lruLen }
+
+// Reserved returns the number of frames consumed by Reserve and not yet
+// bound (AdoptReserved) or returned (Unreserve).
+func (f *FramePool) Reserved() int { return f.reserved }
+
+// Detached returns the number of frames unmapped by Unmap and not yet freed
+// by ReleaseFrame (swap-outs in flight).
+func (f *FramePool) Detached() int { return f.detached }
 
 // BelowFloor reports whether the free count is at or below the floor,
 // i.e. the replacement daemon should be working.
@@ -66,6 +116,59 @@ func (f *FramePool) BelowFloor() bool { return f.free <= f.minFree }
 
 // HasFree reports whether an allocation can proceed immediately.
 func (f *FramePool) HasFree() bool { return f.free > 0 }
+
+// slot returns page's slot index, or -1 if not present.
+func (f *FramePool) slot(page PageID) int32 {
+	if page < 0 || page >= PageID(len(f.slotOf)) {
+		return -1
+	}
+	return f.slotOf[page] - 1
+}
+
+// setSlot records page -> s, growing the side index on first sight of a
+// page range. Growth is one-time per high-water mark; steady state never
+// reallocates.
+func (f *FramePool) setSlot(page PageID, s int32) {
+	if page < 0 {
+		panic(fmt.Sprintf("vm: node %d: negative page %d", f.node, page))
+	}
+	if page >= PageID(len(f.slotOf)) {
+		grown := make([]int32, page+page/2+8)
+		copy(grown, f.slotOf)
+		f.slotOf = grown
+	}
+	f.slotOf[page] = s + 1
+}
+
+// pushFront links slot s (holding its page) in as most recently used.
+func (f *FramePool) pushFront(s int32) {
+	f.nodes[s].prev = -1
+	f.nodes[s].next = f.head
+	if f.head >= 0 {
+		f.nodes[f.head].prev = s
+	}
+	f.head = s
+	if f.tail < 0 {
+		f.tail = s
+	}
+	f.lruLen++
+}
+
+// unlink removes slot s from the LRU list (it stays allocated).
+func (f *FramePool) unlink(s int32) {
+	n := &f.nodes[s]
+	if n.prev >= 0 {
+		f.nodes[n.prev].next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next >= 0 {
+		f.nodes[n.next].prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	f.lruLen--
+}
 
 // Alloc consumes one free frame for page and inserts it as most recently
 // used. The caller must have ensured HasFree (stalling in NoFree
@@ -84,6 +187,7 @@ func (f *FramePool) Reserve() {
 		panic(fmt.Sprintf("vm: node %d: Reserve with no free frames", f.node))
 	}
 	f.free--
+	f.reserved++
 	f.Allocs++
 	if f.BelowFloor() {
 		f.Pressure.Signal()
@@ -93,9 +197,10 @@ func (f *FramePool) Reserve() {
 // Unreserve returns a Reserved frame unused (the fault it was held for
 // resolved another way), waking NoFree stalls.
 func (f *FramePool) Unreserve() {
-	if f.free+f.lru.Len() >= f.total {
+	if f.reserved == 0 {
 		panic(fmt.Sprintf("vm: node %d: Unreserve without a reservation", f.node))
 	}
+	f.reserved--
 	f.free++
 	f.FrameFreed.Broadcast()
 }
@@ -103,47 +208,58 @@ func (f *FramePool) Unreserve() {
 // AdoptReserved binds a previously Reserved frame to page, making it
 // visible to LRU replacement.
 func (f *FramePool) AdoptReserved(page PageID) {
-	if _, dup := f.present[page]; dup {
+	if f.slot(page) >= 0 {
 		panic(fmt.Sprintf("vm: node %d: page %d already resident", f.node, page))
 	}
-	if f.free+f.lru.Len() >= f.total {
+	if f.reserved == 0 {
 		panic(fmt.Sprintf("vm: node %d: AdoptReserved without a reservation", f.node))
 	}
-	f.present[page] = f.lru.PushFront(page)
+	f.reserved--
+	s := f.fslots
+	f.fslots = f.nodes[s].next
+	f.nodes[s].page = page
+	f.setSlot(page, s)
+	f.pushFront(s)
 }
 
 // Touch refreshes page's LRU position (on access). No-op if not present.
 func (f *FramePool) Touch(page PageID) {
-	if el, ok := f.present[page]; ok {
-		f.lru.MoveToFront(el)
+	s := f.slot(page)
+	if s < 0 || s == f.head {
+		return
 	}
+	f.unlink(s)
+	f.pushFront(s)
 }
 
 // Contains reports whether page occupies a frame in this pool.
-func (f *FramePool) Contains(page PageID) bool {
-	_, ok := f.present[page]
-	return ok
-}
+func (f *FramePool) Contains(page PageID) bool { return f.slot(page) >= 0 }
 
 // VictimLRU returns the least recently used resident page without removing
 // it, or false if the pool is empty.
 func (f *FramePool) VictimLRU() (PageID, bool) {
-	back := f.lru.Back()
-	if back == nil {
+	if f.tail < 0 {
 		return 0, false
 	}
-	return back.Value.(PageID), true
+	return f.nodes[f.tail].page, true
+}
+
+// drop unlinks page's slot from the LRU and recycles the slot.
+func (f *FramePool) drop(page PageID, op string) {
+	s := f.slot(page)
+	if s < 0 {
+		panic(fmt.Sprintf("vm: node %d: %s non-resident page %d", f.node, op, page))
+	}
+	f.unlink(s)
+	f.slotOf[page] = 0
+	f.nodes[s].next = f.fslots
+	f.fslots = s
 }
 
 // Remove unmaps page, freeing its frame and waking NoFree stalls. The
 // page must be present.
 func (f *FramePool) Remove(page PageID) {
-	el, ok := f.present[page]
-	if !ok {
-		panic(fmt.Sprintf("vm: node %d: removing non-resident page %d", f.node, page))
-	}
-	f.lru.Remove(el)
-	delete(f.present, page)
+	f.drop(page, "removing")
 	f.free++
 	f.Evictions++
 	f.FrameFreed.Broadcast()
@@ -154,20 +270,17 @@ func (f *FramePool) Remove(page PageID) {
 // in the frame until the disk (or ring) has taken it. Pair with
 // ReleaseFrame when the copy is safe.
 func (f *FramePool) Unmap(page PageID) {
-	el, ok := f.present[page]
-	if !ok {
-		panic(fmt.Sprintf("vm: node %d: unmapping non-resident page %d", f.node, page))
-	}
-	f.lru.Remove(el)
-	delete(f.present, page)
+	f.drop(page, "unmapping")
+	f.detached++
 }
 
 // ReleaseFrame frees a frame previously detached with Unmap (the ACK
 // arrived / the ring insert completed: the memory can be reused).
 func (f *FramePool) ReleaseFrame() {
-	if f.free+f.lru.Len() >= f.total {
+	if f.detached == 0 {
 		panic(fmt.Sprintf("vm: node %d: frame over-release", f.node))
 	}
+	f.detached--
 	f.free++
 	f.Evictions++
 	f.FrameFreed.Broadcast()

@@ -69,21 +69,34 @@ type Entry struct {
 	TransitBy int
 }
 
-// Table is the machine-wide page table.
+// Table is the machine-wide page table. Pages are handed out from a dense
+// 0..N bump allocator (workload.Space), so the table is a slice indexed by
+// page number rather than a map: entry lookup on the per-access hot path is
+// a bounds check and a load, and the slice grows only when the workload
+// touches a new high page.
 type Table struct {
 	e       *sim.Engine
-	entries map[PageID]*Entry
+	entries []*Entry
+	count   int
 }
 
 // NewTable returns an empty page table.
 func NewTable(e *sim.Engine) *Table {
-	return &Table{e: e, entries: make(map[PageID]*Entry)}
+	return &Table{e: e}
 }
 
 // Get returns the entry for page, creating an Unmapped one on first use.
 func (t *Table) Get(page PageID) *Entry {
-	en, ok := t.entries[page]
-	if !ok {
+	if page < 0 {
+		panic(fmt.Sprintf("vm: negative page %d", page))
+	}
+	if page >= PageID(len(t.entries)) {
+		grown := make([]*Entry, page+page/2+8)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	en := t.entries[page]
+	if en == nil {
 		en = &Entry{
 			Page:        page,
 			State:       Unmapped,
@@ -93,25 +106,29 @@ func (t *Table) Get(page PageID) *Entry {
 			Arrived:     sim.NewCond(t.e),
 		}
 		t.entries[page] = en
+		t.count++
 	}
 	return en
 }
 
 // Lookup returns the entry if it exists, without creating it.
 func (t *Table) Lookup(page PageID) (*Entry, bool) {
-	en, ok := t.entries[page]
-	return en, ok
+	if page < 0 || page >= PageID(len(t.entries)) {
+		return nil, false
+	}
+	en := t.entries[page]
+	return en, en != nil
 }
 
 // Len returns the number of instantiated entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.count }
 
 // ResidentCount returns how many pages are currently Resident (for
 // invariant checks in tests).
 func (t *Table) ResidentCount() int {
 	n := 0
 	for _, en := range t.entries {
-		if en.State == Resident {
+		if en != nil && en.State == Resident {
 			n++
 		}
 	}

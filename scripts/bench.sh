@@ -1,12 +1,19 @@
 #!/bin/sh
-# Run the simulation-core hot-path benchmarks and emit BENCH_1.json.
+# Run the hot-path benchmarks and emit BENCH_2.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
 # Benchmarks:
 #   BenchmarkEngineEventThroughput  pooled event schedule/dispatch cycle
 #   BenchmarkProcSwitch             Sleep round-trip (migrating driver)
-#   BenchmarkSingleRunGauss         one end-to-end application run
+#   BenchmarkSingleRunGauss         end-to-end run, swap-heavy application
+#   BenchmarkSingleRunFFT           end-to-end run, communication-heavy
+#   BenchmarkMeshTransit            precomputed-route mesh reservation
+#   BenchmarkFramePoolTouch         LRU refresh on the per-access path
+#   BenchmarkFramePoolEvict         reserve/adopt/unmap/release cycle
+#   BenchmarkWriteBufferEnqueue     write-buffer push + coalesce scan
+#
+# Compare against a previous emission with scripts/benchdiff.sh.
 #
 # Output is a JSON object mapping benchmark name to {ns_per_op,
 # bytes_per_op, allocs_per_op, iterations}. NWCACHE_BENCH_SCALE (see
@@ -14,13 +21,19 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench '^(BenchmarkEngineEventThroughput|BenchmarkProcSwitch|BenchmarkSingleRunGauss)$' \
+  -bench '^(BenchmarkEngineEventThroughput|BenchmarkProcSwitch|BenchmarkSingleRunGauss|BenchmarkSingleRunFFT|BenchmarkMeshTransit)$' \
   -benchmem -benchtime "${NWCACHE_BENCHTIME:-1s}" . | tee "$raw" >&2
+
+go test -run '^$' -bench '^(BenchmarkFramePoolTouch|BenchmarkFramePoolEvict)$' \
+  -benchmem -benchtime "${NWCACHE_BENCHTIME:-1s}" ./internal/vm | tee -a "$raw" >&2
+
+go test -run '^$' -bench '^BenchmarkWriteBufferEnqueue$' \
+  -benchmem -benchtime "${NWCACHE_BENCHTIME:-1s}" ./internal/machine | tee -a "$raw" >&2
 
 awk '
   /^Benchmark/ {

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Compare two bench.sh outputs (e.g. BENCH_1.json vs BENCH_2.json) and
+# print per-benchmark deltas for time and allocations.
+#
+# Usage: scripts/benchdiff.sh OLD.json NEW.json
+#
+# Benchmarks present in only one file are listed without a delta. Exits
+# non-zero on malformed input, zero otherwise (it reports; it does not
+# judge regressions).
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 OLD.json NEW.json" >&2
+  exit 2
+fi
+old="$1"
+new="$2"
+
+# bench.sh emits one record per line; pull the fields back out with awk.
+extract() {
+  awk '
+    /"name"/ {
+      line = $0
+      if (match(line, /"name":"[^"]*"/)) {
+        name = substr(line, RSTART + 8, RLENGTH - 9)
+        ns = "null"; allocs = "null"
+        if (match(line, /"ns_per_op":[0-9.e+-]+/))
+          ns = substr(line, RSTART + 12, RLENGTH - 12)
+        if (match(line, /"allocs_per_op":[0-9]+/))
+          allocs = substr(line, RSTART + 16, RLENGTH - 16)
+        print name, ns, allocs
+      }
+    }
+  ' "$1"
+}
+
+extract "$old" > "${TMPDIR:-/tmp}/benchdiff_old.$$"
+extract "$new" > "${TMPDIR:-/tmp}/benchdiff_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/benchdiff_old.$$" "${TMPDIR:-/tmp}/benchdiff_new.$$"' EXIT
+
+awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" '
+  BEGIN {
+    while ((getline line < oldfile) > 0) {
+      split(line, f, " ")
+      ons[f[1]] = f[2]; oal[f[1]] = f[3]; seen[f[1]] = 1
+    }
+    close(oldfile)
+    printf "%-34s %14s %14s %8s %12s %12s %8s\n",
+      "benchmark", "old-ns/op", "new-ns/op", "time", "old-allocs", "new-allocs", "allocs"
+  }
+  {
+    name = $1; nns = $2; nal = $3
+    if (!(name in ons)) {
+      printf "%-34s %14s %14s %8s %12s %12s %8s   (new)\n", name, "-", nns, "-", "-", nal, "-"
+      next
+    }
+    done[name] = 1
+    dt = (ons[name] + 0 > 0) ? sprintf("%+.1f%%", 100 * (nns - ons[name]) / ons[name]) : "-"
+    da = (oal[name] + 0 > 0) ? sprintf("%+.1f%%", 100 * (nal - oal[name]) / oal[name]) : "-"
+    printf "%-34s %14s %14s %8s %12s %12s %8s\n", name, ons[name], nns, dt, oal[name], nal, da
+  }
+  END {
+    for (name in seen) if (!(name in done))
+      printf "%-34s %14s %14s %8s %12s %12s %8s   (dropped)\n", name, ons[name], "-", "-", oal[name], "-", "-"
+  }
+' "${TMPDIR:-/tmp}/benchdiff_new.$$"
