@@ -5,37 +5,55 @@
 // Usage:
 //
 //	nwbench [-scale 1.0] [-seed 1] [-table N | -figure N | -all] [-q]
-//	        [-j N] [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
+//	        [-j N] [-trace-out trace.json] [-manifest-out manifest.json]
+//	        [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
 //
 // With no selection flags, everything is printed (-all).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/machine"
+	"nwcache/internal/obs"
 	"nwcache/internal/stats"
 )
 
+// obsRun is the observation of one executed simulation: its registry and
+// (when tracing) its span trace, labeled by the cell.
+type obsRun struct {
+	label string
+	reg   *obs.Registry
+	tr    *obs.Trace
+}
+
 func main() {
 	var (
-		scale      = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
-		seed       = flag.Int64("seed", 1, "deterministic simulation seed")
-		tableN     = flag.Int("table", 0, "print only table N (2-8)")
-		figureN    = flag.Int("figure", 0, "print only figure N (3 or 4)")
-		all        = flag.Bool("all", false, "print every table and figure")
-		quiet      = flag.Bool("q", false, "suppress progress output")
-		format     = flag.String("format", "text", "output format: text or csv")
-		report     = flag.Bool("report", false, "emit a markdown paper-vs-measured report")
-		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		scale       = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
+		seed        = flag.Int64("seed", 1, "deterministic simulation seed")
+		tableN      = flag.Int("table", 0, "print only table N (2-8)")
+		figureN     = flag.Int("figure", 0, "print only figure N (3 or 4)")
+		all         = flag.Bool("all", false, "print every table and figure")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		format      = flag.String("format", "text", "output format: text or csv")
+		report      = flag.Bool("report", false, "emit a markdown paper-vs-measured report")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON (one process per simulation) to this file")
+		manifestOut = flag.String("manifest-out", "", "write a run-manifest JSON (params, seed, merged metrics, stdout digest) to this file")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.IntVar(jobs, "parallel", runtime.GOMAXPROCS(0), "alias for -j")
 	flag.Parse()
@@ -62,37 +80,122 @@ func main() {
 		}
 	}
 
-	if *report {
-		if err := suite.Prewarm(*jobs); err != nil {
-			fatal(err)
-		}
-		if err := suite.Report(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+	// The primary output goes through a digest tee when a manifest is
+	// requested, so the manifest pins the exact bytes printed.
+	var out io.Writer = os.Stdout
+	var dw *obs.DigestWriter
+	if *manifestOut != "" {
+		dw = obs.NewDigestWriter(os.Stdout)
+		out = dw
 	}
-	if *tableN == 0 && *figureN == 0 {
-		*all = true
+
+	// Observation collector: each executed simulation gets its own
+	// registry (and trace, when requested); cells served from the memo
+	// cache never fire the hook, so runs holds exactly the fresh work.
+	var (
+		obsMu sync.Mutex
+		runs  []obsRun
+	)
+	if *traceOut != "" || *manifestOut != "" {
+		wantTrace := *traceOut != ""
+		suite.Observe = func(c core.Cell, m *machine.Machine) {
+			r := obsRun{label: c.Label(), reg: obs.NewRegistry()}
+			if wantTrace {
+				r.tr = obs.NewTrace(0)
+			}
+			m.Observe(r.reg, r.tr)
+			obsMu.Lock()
+			runs = append(runs, r)
+			obsMu.Unlock()
+		}
 	}
-	if *all {
-		if err := suite.Prewarm(*jobs); err != nil {
-			fatal(err)
+
+	start := time.Now()
+	if err := runSelections(suite, out, *report, *all, *tableN, *figureN, *format, *jobs); err != nil {
+		fatal(err)
+	}
+
+	// Scheduling order is nondeterministic under -j; sort by label so
+	// trace process order and merged metrics are reproducible.
+	sort.Slice(runs, func(i, j int) bool { return runs[i].label < runs[j].label })
+
+	if *traceOut != "" {
+		named := make([]obs.NamedTrace, 0, len(runs))
+		for _, r := range runs {
+			if r.tr != nil {
+				named = append(named, obs.NamedTrace{Name: r.label, Trace: r.tr})
+			}
 		}
-		var err error
-		if *format == "csv" {
-			err = suite.WriteAllCSV(os.Stdout)
-		} else {
-			err = suite.WriteAll(os.Stdout)
-		}
+		f, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
-		return
+		if err := obs.WriteChromeMulti(f, named); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
-	if *tableN != 0 {
+	if *manifestOut != "" {
+		var merged obs.Snapshot
+		var spans int
+		var dropped uint64
+		for _, r := range runs {
+			merged = merged.Merge(r.reg.Snapshot())
+			if r.tr != nil {
+				spans += r.tr.Len()
+				dropped += r.tr.Dropped()
+			}
+		}
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		man := &obs.Manifest{
+			Tool:         "nwbench",
+			Seed:         *seed,
+			Runs:         len(runs),
+			Params:       params,
+			WallNS:       time.Since(start).Nanoseconds(),
+			Metrics:      merged,
+			Digest:       dw.Sum(),
+			TraceSpans:   spans,
+			TraceDropped: dropped,
+			CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		}
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runSelections executes the selected tables/figures, writing the primary
+// report to out.
+func runSelections(suite *exp.Suite, out io.Writer, report, all bool, tableN, figureN int, format string, jobs int) error {
+	if report {
+		if err := suite.Prewarm(jobs); err != nil {
+			return err
+		}
+		return suite.Report(out)
+	}
+	if tableN == 0 && figureN == 0 {
+		all = true
+	}
+	if all {
+		if err := suite.Prewarm(jobs); err != nil {
+			return err
+		}
+		if format == "csv" {
+			return suite.WriteAllCSV(out)
+		}
+		return suite.WriteAll(out)
+	}
+	if tableN != 0 {
 		var t *stats.Table
 		var err error
-		switch *tableN {
+		switch tableN {
 		case 2:
 			t = suite.Table2()
 		case 3:
@@ -108,34 +211,35 @@ func main() {
 		case 8:
 			t, err = suite.Table8()
 		default:
-			fatal(fmt.Errorf("no table %d (have 2-8)", *tableN))
+			return fmt.Errorf("no table %d (have 2-8)", tableN)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 	}
-	if *figureN != 0 {
+	if figureN != 0 {
 		var mode core.PrefetchMode
-		switch *figureN {
+		switch figureN {
 		case 3:
 			mode = core.Optimal
 		case 4:
 			mode = core.Naive
 		default:
-			fatal(fmt.Errorf("no figure %d (have 3 and 4)", *figureN))
+			return fmt.Errorf("no figure %d (have 3 and 4)", figureN)
 		}
 		t, err := suite.Figure(mode)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		chart, err := suite.FigureBars(mode)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(chart)
+		fmt.Fprintln(out, chart)
 	}
+	return nil
 }
 
 func fatal(err error) {

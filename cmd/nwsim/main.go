@@ -8,16 +8,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/obs"
 	"nwcache/internal/param"
 )
 
@@ -35,6 +39,9 @@ func main() {
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent seed runs (with -seeds)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
+		maniOut    = flag.String("manifest-out", "", "write a run manifest JSON (params, seed, metrics, output digest)")
+		metricsF   = flag.Bool("metrics", false, "print the metric snapshot after the run")
 	)
 	flag.Float64Var(&cfg.Scale, "scale", 1.0, "workload scale (1.0 = paper inputs)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
@@ -121,6 +128,9 @@ func main() {
 	}
 
 	if *seeds > 1 {
+		if *traceOut != "" || *maniOut != "" || *metricsF {
+			fatal(fmt.Errorf("-trace-out/-manifest-out/-metrics require a single run (-seeds 1)"))
+		}
 		agg, err := pool.RunSeeds(pool.New(*jobs), *app, kind, mode, cfg, *seeds)
 		if err != nil {
 			fatal(err)
@@ -143,15 +153,109 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Observability: a metrics registry when any consumer wants a
+	// snapshot, a span trace for -trace-out, and a digesting stdout tee
+	// for the manifest's determinism digest. With none of the flags set,
+	// nothing is wired and the run is byte-identical to an unobserved one.
+	var (
+		reg *obs.Registry
+		tr  *obs.Trace
+		dw  *obs.DigestWriter
+		out io.Writer = os.Stdout
+	)
+	if *maniOut != "" || *metricsF {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		tr = obs.NewTrace(0)
+	}
+	if *maniOut != "" {
+		dw = obs.NewDigestWriter(os.Stdout)
+		out = dw
+	}
+	if reg != nil || tr != nil {
+		m.Observe(reg, tr)
+	}
+
+	wall0 := time.Now()
 	res, err := m.Run(prog)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(wall0)
 
-	fmt.Printf("scale=%.2f minfree=%d\n", cfg.Scale, cfg.MinFreeFrames)
-	fmt.Println(res)
+	fmt.Fprintf(out, "scale=%.2f minfree=%d\n", cfg.Scale, cfg.MinFreeFrames)
+	fmt.Fprintln(out, res)
 	if *util {
-		fmt.Println(m.UtilizationTable())
+		fmt.Fprintln(out, m.UtilizationTable())
+	}
+	if *metricsF {
+		printSnapshot(os.Stdout, reg.Snapshot())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		label := fmt.Sprintf("nwsim %s/%s/%s", *app, kind, mode)
+		if err := tr.WriteChrome(f, label); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *maniOut != "" {
+		params, err := json.Marshal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		man := &obs.Manifest{
+			Tool:       "nwsim",
+			App:        *app,
+			Machine:    kind.String(),
+			Prefetch:   mode.String(),
+			Seed:       cfg.Seed,
+			Params:     params,
+			WallNS:     wall.Nanoseconds(),
+			SimPcycles: res.ExecTime,
+			Metrics:    reg.Snapshot(),
+			Digest:     dw.Sum(),
+			TraceSpans: tr.Len(),
+			CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		}
+		man.TraceDropped = tr.Dropped()
+		if err := man.WriteFile(*maniOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printSnapshot renders a metric snapshot as aligned name/value text.
+func printSnapshot(w io.Writer, snap obs.Snapshot) {
+	fmt.Fprintf(w, "\nmetrics (%d):\n", len(snap))
+	for _, mv := range snap {
+		switch mv.Kind {
+		case "histogram":
+			fmt.Fprintf(w, "  %-36s n=%d sum=%d min=%d max=%d\n",
+				mv.Name, mv.Count, mv.Sum, mv.Min, mv.Max)
+		case "timegauge":
+			mean := 0.0
+			if mv.Span > 0 {
+				mean = float64(mv.Integral) / float64(mv.Span)
+			}
+			fmt.Fprintf(w, "  %-36s last=%d peak=%d mean=%.2f\n",
+				mv.Name, mv.Value, mv.Peak, mean)
+		case "gauge":
+			if mv.Peak != 0 {
+				fmt.Fprintf(w, "  %-36s %d (peak %d)\n", mv.Name, mv.Value, mv.Peak)
+				continue
+			}
+			fmt.Fprintf(w, "  %-36s %d\n", mv.Name, mv.Value)
+		default:
+			fmt.Fprintf(w, "  %-36s %d\n", mv.Name, mv.Value)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"nwcache/internal/dense"
+	"nwcache/internal/obs"
 )
 
 // State is a cache line's MSI state.
@@ -103,6 +104,19 @@ func NewCache(node, capacity int) *Cache {
 		c.fslots = int32(i)
 	}
 	return c
+}
+
+// Observe wires the cache's hit/miss statistics into an obs scope as
+// pull-based probes (typically one scope per node). No-op on a nil
+// scope.
+func (c *Cache) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("hits", func() int64 { return int64(c.Hits) })
+	sc.ProbeCounter("misses", func() int64 { return int64(c.Misses) })
+	sc.ProbeCounter("upgrades", func() int64 { return int64(c.Upgrades) })
+	sc.ProbeCounter("writebacks", func() int64 { return int64(c.Writebacks) })
 }
 
 // pushFront links slot s in as most recently used.
@@ -246,6 +260,11 @@ func (c *Cache) Len() int { return c.count }
 type Directory struct {
 	entries    map[int64]DirEntry
 	invScratch []int
+
+	// Statistics: snoop traffic the directory ordered. Maintained
+	// unconditionally (plain integer bumps on map-touching paths).
+	Invalidations uint64 // Shared copies ordered invalidated
+	Forwards      uint64 // cache-to-cache transfers ordered
 }
 
 // DirEntry is one block's directory state.
@@ -291,6 +310,7 @@ func (d *Directory) Read(page int64, sub int, n int) Txn {
 	if en.Owner >= 0 && en.Owner != n {
 		// Dirty copy elsewhere: forward it and downgrade to Shared.
 		t.FetchFrom = en.Owner
+		d.Forwards++
 		en.Sharers |= 1 << uint(en.Owner)
 		en.Owner = -1
 	} else {
@@ -314,6 +334,7 @@ func (d *Directory) Write(page int64, sub int, n int) Txn {
 	t := Txn{FetchFrom: -1}
 	if en.Owner >= 0 && en.Owner != n {
 		t.FetchFrom = en.Owner
+		d.Forwards++
 	} else if en.Owner != n {
 		t.MemoryData = en.Sharers&(1<<uint(n)) == 0 // upgrade needs no data
 	}
@@ -326,6 +347,7 @@ func (d *Directory) Write(page int64, sub int, n int) Txn {
 	d.invScratch = inv[:0]
 	if len(inv) > 0 {
 		t.Invalidate = inv
+		d.Invalidations += uint64(len(inv))
 	}
 	en.Sharers = 0
 	en.Owner = n
@@ -370,3 +392,14 @@ func (d *Directory) put(k int64, en DirEntry) {
 
 // Len returns the number of tracked blocks (for tests).
 func (d *Directory) Len() int { return len(d.entries) }
+
+// Observe wires the directory's snoop statistics into an obs scope as
+// pull-based probes. No-op on a nil scope.
+func (d *Directory) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("invalidations", func() int64 { return int64(d.Invalidations) })
+	sc.ProbeCounter("forwards", func() int64 { return int64(d.Forwards) })
+	sc.ProbeGauge("tracked_blocks", func() int64 { return int64(len(d.entries)) })
+}

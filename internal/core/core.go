@@ -140,14 +140,41 @@ type Cell struct {
 	Mode    PrefetchMode
 	RRDrain bool // run the NWCache drain-policy ablation (round-robin)
 	Cfg     Config
+
+	// Obs, when non-nil, is invoked with the freshly built machine before
+	// the run starts — the hook the observability layer uses to attach a
+	// metrics registry and span trace (machine.Observe). It is excluded
+	// from Key on purpose: observation never changes a result, so a
+	// memoized Result may be returned without the hook firing (pool cache
+	// hits run no machine).
+	Obs func(Cell, *machine.Machine) `json:"-"`
 }
 
 // Run executes the cell on a fresh machine.
 func (c Cell) Run() (*Result, error) {
-	if c.RRDrain {
-		return RunDrainPolicy(c.App, c.Mode, c.Cfg, true)
+	prog, err := NewProgram(c.App, c.Cfg)
+	if err != nil {
+		return nil, err
 	}
-	return Run(c.App, c.Kind, c.Mode, c.Cfg)
+	kind := c.Kind
+	if c.RRDrain {
+		kind = NWCache
+	}
+	m, err := machine.New(c.Cfg, kind, c.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if c.RRDrain {
+		for _, f := range m.Ifaces {
+			if f != nil {
+				f.Policy = optical.RoundRobin
+			}
+		}
+	}
+	if c.Obs != nil {
+		c.Obs(c, m)
+	}
+	return m.Run(prog)
 }
 
 // Key returns a canonical hash of everything that can influence the

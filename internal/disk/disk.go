@@ -23,6 +23,7 @@ package disk
 import (
 	"fmt"
 
+	"nwcache/internal/obs"
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
 	"nwcache/internal/stats"
@@ -150,6 +151,13 @@ type Disk struct {
 	Combining  stats.Mean // pages per media write access
 	MediaReads uint64
 	MediaWrite uint64
+
+	// Observation handles, nil until Observe/SetTrace wire them; the write
+	// and write-back paths then pay one nil check each.
+	tgDirty *obs.TimeGauge // dirty-slot count over simulated time
+	hGroup  *obs.Histogram // write-combining run lengths
+	tr      *obs.Trace     // media access spans
+	track   int
 }
 
 // New constructs a disk and starts its write-back daemon.
@@ -185,6 +193,40 @@ func New(e *sim.Engine, name string, cfg param.Config, mode PrefetchMode) *Disk 
 	}
 	e.SpawnDaemon(name+".writeback", d.writebackLoop)
 	return d
+}
+
+// Observe wires the controller's statistics into an obs scope: the
+// existing counters as pull-based probes, a simulated-time gauge of
+// dirty (unwritten swap-out) slots, and a histogram of write-combining
+// run lengths. No-op on a nil scope.
+func (d *Disk) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("reads", func() int64 { return int64(d.Reads) })
+	sc.ProbeCounter("read_hits", func() int64 { return int64(d.ReadHits) })
+	sc.ProbeCounter("writes", func() int64 { return int64(d.Writes) })
+	sc.ProbeCounter("writes_ack", func() int64 { return int64(d.WritesACK) })
+	sc.ProbeCounter("writes_nack", func() int64 { return int64(d.WritesNACK) })
+	sc.ProbeCounter("media_reads", func() int64 { return int64(d.MediaReads) })
+	sc.ProbeCounter("media_writes", func() int64 { return int64(d.MediaWrite) })
+	sc.ProbeCounter("arm_busy_pcycles", func() int64 { return d.ArmBusy() })
+	sc.ProbeGauge("pending_nacks", func() int64 { return int64(d.PendingNACKs()) })
+	sc.ProbeGauge("dcd_logged", func() int64 { return int64(d.DCDLogged()) })
+	d.tgDirty = sc.TimeGauge("dirty_slots")
+	d.hGroup = sc.Histogram("wb_group_len")
+}
+
+// SetTrace routes media access spans onto track of tr (nil disables).
+func (d *Disk) SetTrace(tr *obs.Trace, track int) {
+	d.tr, d.track = tr, track
+}
+
+// noteDirty samples the dirty-slot gauge (call after any transition).
+func (d *Disk) noteDirty() {
+	if d.tgDirty != nil {
+		d.tgDirty.Set(d.e.Now(), int64(d.DirtySlots()))
+	}
 }
 
 // HasDCD reports whether the DCD log disk is attached.
@@ -323,7 +365,9 @@ func (d *Disk) Read(p *sim.Proc, from int, page PageID, block int64) ReadOutcome
 	// Dedicated media read.
 	d.MediaReads++
 	dur := d.seekTime(block) + d.rot + d.pageXfer
+	t0 := p.Now()
 	d.arm.Use(p, sim.High, dur)
+	d.tr.Span(d.track, "disk.read", t0, p.Now())
 	d.headPos = block
 	d.installClean(page, block, false)
 	switch d.mode {
@@ -428,6 +472,7 @@ func (d *Disk) Write(p *sim.Proc, node int, page PageID, block int64) WriteStatu
 		d.slots[i].seq = d.seqCounter
 		d.touch(i)
 		d.WritesACK++
+		d.noteDirty()
 		d.wbKick.Signal()
 		return ACK
 	}
@@ -441,6 +486,7 @@ func (d *Disk) Write(p *sim.Proc, node int, page PageID, block int64) WriteStatu
 	d.slots[i] = slot{valid: true, page: page, block: block, dirty: true, seq: d.seqCounter}
 	d.touch(i)
 	d.WritesACK++
+	d.noteDirty()
 	d.wbKick.Signal()
 	return ACK
 }
@@ -479,11 +525,13 @@ func (d *Disk) writebackLoop(p *sim.Proc) {
 		// another write-back while their data streams to the media, though
 		// reads may still hit them and a re-write to the same page bumps
 		// the sequence number (handled below).
-		seqs := make([]uint64, len(group))
-		for k, i := range group {
+		seqs := d.wbSeqs[:0]
+		for _, i := range group {
 			d.slots[i].busy = true
-			seqs[k] = d.slots[i].seq
+			seqs = append(seqs, d.slots[i].seq)
 		}
+		d.wbSeqs = seqs[:0]
+		d.hGroup.Observe(int64(len(group)))
 		if d.dcd != nil {
 			// DCD: destage to the log disk with a cheap sequential write;
 			// the destage daemon moves it to the data disk later. Block
@@ -491,15 +539,18 @@ func (d *Disk) writebackLoop(p *sim.Proc) {
 			for !d.dcd.hasRoom(len(group)) {
 				d.dcd.room.Wait(p)
 			}
-			blocks := make([]int64, len(group))
-			for k, i := range group {
-				blocks[k] = d.slots[i].block
+			blocks := d.wbBlks[:0]
+			for _, i := range group {
+				blocks = append(blocks, d.slots[i].block)
 			}
+			d.wbBlks = blocks[:0]
 			d.dcd.appendBatch(p, blocks)
 		} else {
 			start := d.slots[group[0]].block
 			dur := d.seekTime(start) + d.rot + int64(len(group))*d.pageXfer
+			t0 := p.Now()
 			d.arm.Use(p, sim.Low, dur) // background write-back: low priority
+			d.tr.Span(d.track, "disk.write", t0, p.Now())
 			d.headPos = start + int64(len(group))
 			d.MediaWrite++
 			d.Combining.Add(float64(len(group)))
@@ -511,6 +562,7 @@ func (d *Disk) writebackLoop(p *sim.Proc) {
 			}
 			// else: overwritten mid-flight, stays dirty for another pass.
 		}
+		d.noteDirty()
 		d.releaseNACKs()
 		if d.OnRoom != nil {
 			d.OnRoom()

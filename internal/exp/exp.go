@@ -14,6 +14,7 @@ import (
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/machine"
 	"nwcache/internal/stats"
 	"nwcache/internal/workload"
 )
@@ -27,6 +28,11 @@ type Suite struct {
 	// Progress, if set, is called with a label for each simulation that
 	// is actually started (cache hits are silent).
 	Progress func(label string)
+	// Observe, if set, is attached to every cell as its core.Cell.Obs
+	// hook: it fires with the freshly built machine for each simulation
+	// actually executed (memoized cells are served from cache without a
+	// machine). Set it before the first submission.
+	Observe func(core.Cell, *machine.Machine)
 }
 
 // NewSuite creates an empty suite over the given base configuration. The
@@ -56,7 +62,7 @@ func (s *Suite) pool() *pool.Pool {
 // paper's per-configuration minimum-free-frames floor.
 func (s *Suite) cell(app string, kind core.Kind, mode core.PrefetchMode) core.Cell {
 	return core.Cell{App: app, Kind: kind, Mode: mode,
-		Cfg: core.ApplyPaperMinFree(s.cfg, kind, mode)}
+		Cfg: core.ApplyPaperMinFree(s.cfg, kind, mode), Obs: s.Observe}
 }
 
 // submit schedules one cell, reporting progress if it is fresh work.

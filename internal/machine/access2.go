@@ -110,10 +110,12 @@ func (m *Machine) faultFromRing(p *sim.Proc, n *Node, en *vm.Entry) bool {
 		n.charge(stats.Fault, p.Now()-t0)
 		m.emit(trace.RingVictim, n.ID, en.Page, 0)
 		m.emit(trace.FaultRing, n.ID, en.Page, p.Now()-t0)
+		m.hFaultRing.Observe(p.Now() - t0)
+		m.Spans.Span(m.cpuTrack(n.ID), "fault.ring", t0, p.Now())
 		m.finishFault(p, n, en, true /*dirty: disk never got it*/)
 		n.Faults++
 		n.RingHits++
-		m.Ring.VictimHits++
+		m.Ring.NoteVictim(ringEn.Channel)
 		return true
 
 	case optical.Draining:
@@ -128,10 +130,12 @@ func (m *Machine) faultFromRing(p *sim.Proc, n *Node, en *vm.Entry) bool {
 		m.ringReadInto(p, n, ringEn)
 		n.charge(stats.Fault, p.Now()-t0)
 		m.emit(trace.FaultRing, n.ID, en.Page, p.Now()-t0)
+		m.hFaultRing.Observe(p.Now() - t0)
+		m.Spans.Span(m.cpuTrack(n.ID), "fault.ring", t0, p.Now())
 		m.finishFault(p, n, en, false)
 		n.Faults++
 		n.RingHits++
-		m.Ring.VictimHits++
+		m.Ring.NoteVictim(ringEn.Channel)
 		return true
 
 	default:
@@ -160,6 +164,8 @@ func (m *Machine) faultFromDisk(p *sim.Proc, n *Node, en *vm.Entry) {
 	d := p.Now() - t0
 	n.charge(stats.Fault, d)
 	m.emit(trace.FaultDisk, n.ID, en.Page, d)
+	m.hFaultDisk.Observe(d)
+	m.Spans.Span(m.cpuTrack(n.ID), "fault.disk", t0, p.Now())
 	if outcome.Hit() {
 		n.DiskHits++
 		// Table 8 measures the latency of faults served straight from the

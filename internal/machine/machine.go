@@ -20,6 +20,7 @@ import (
 	"nwcache/internal/coherence"
 	"nwcache/internal/disk"
 	"nwcache/internal/mesh"
+	"nwcache/internal/obs"
 	"nwcache/internal/optical"
 	"nwcache/internal/param"
 	"nwcache/internal/pfs"
@@ -127,6 +128,15 @@ type Machine struct {
 	// (touch/compute/barrier/lock/file I/O) as it is issued — the hook
 	// behind record/replay (see internal/workload's OpTrace).
 	OpLog func(op OpEvent)
+
+	// Spans receives simulated-clock spans ("fault.disk", "swap.ring",
+	// ...) when observation is wired via Observe; nil otherwise. The
+	// histograms aggregate fault and swap-out latencies for the metric
+	// snapshot.
+	Spans      *obs.Trace
+	hFaultDisk *obs.Histogram
+	hFaultRing *obs.Histogram
+	hSwap      *obs.Histogram
 
 	barrier *sim.Barrier
 	locks   []*sim.Mutex // application locks by id, grown on demand

@@ -148,6 +148,8 @@ func (m *Machine) swapToDisk(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	dur := p.Now() - start
 	n.SwapTime.Add(float64(dur))
 	n.SwapHist.Add(float64(dur))
+	m.hSwap.Observe(dur)
+	m.Spans.Span(m.swapTrack(n.ID), "swap.disk", start, p.Now())
 	m.emit(trace.SwapDone, n.ID, page, dur)
 	en.Lock.Lock(p)
 	en.State = vm.Unmapped
@@ -186,6 +188,8 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	dur := p.Now() - start
 	n.SwapTime.Add(float64(dur))
 	n.SwapHist.Add(float64(dur))
+	m.hSwap.Observe(dur)
+	m.Spans.Span(m.swapTrack(n.ID), "swap.ring", start, p.Now())
 	m.emit(trace.SwapDone, n.ID, page, dur)
 	en.Lock.Lock(p)
 	en.State = vm.OnRing

@@ -19,6 +19,7 @@ package mesh
 import (
 	"fmt"
 
+	"nwcache/internal/obs"
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
 )
@@ -55,6 +56,11 @@ type Mesh struct {
 	// Messages counts delivered messages; Bytes counts payload bytes.
 	Messages uint64
 	Bytes    int64
+
+	// hWait, when observation is wired (Observe), records how long each
+	// message waited for its injection port beyond its earliest start —
+	// the mesh's contention histogram. Nil (one dead branch) otherwise.
+	hWait *obs.Histogram
 }
 
 // New builds the mesh from the configuration.
@@ -218,6 +224,9 @@ func (m *Mesh) Transit(earliest sim.Time, src, dst, bytes int) (arrive sim.Time)
 	}
 	m.Messages++
 	m.Bytes += int64(bytes)
+	if m.hWait != nil {
+		m.hWait.Observe(start - earliest)
+	}
 	return arrive
 }
 
@@ -240,6 +249,23 @@ func (m *Mesh) LinkBusy() int64 {
 		}
 	}
 	return total
+}
+
+// Observe wires the mesh into an obs scope: traffic totals and link
+// occupancy as pull-based probes, plus a live histogram of injection
+// wait (contention) per message. With a nil scope this is a no-op and
+// Transit keeps its allocation-free, branch-predictable fast path.
+func (m *Mesh) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("messages", func() int64 { return int64(m.Messages) })
+	sc.ProbeCounter("bytes", func() int64 { return m.Bytes })
+	sc.ProbeCounter("link_busy_pcycles", func() int64 { return m.LinkBusy() })
+	sc.ProbeGauge("link_util_max_pct", func() int64 {
+		return int64(m.MaxLinkUtilization() * 100)
+	})
+	m.hWait = sc.Histogram("inject_wait")
 }
 
 // MaxLinkUtilization returns the highest per-link utilization.

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Everything must be callable through nil handles: that is the entire
+// disabled-mode contract.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		tg *TimeGauge
+		h  *Histogram
+		tr *Trace
+		r  *Registry
+	)
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(-1)
+	tg.Set(10, 4)
+	h.Observe(123)
+	tr.Span(0, "x", 1, 2)
+	tr.Instant(0, "y", 3)
+	tr.SetTrack(0, "cpu0")
+	if c.Value() != 0 || g.Value() != 0 || tg.Value() != 0 || h.Count() != 0 || tr.Len() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil || r.Root() != nil {
+		t.Fatal("nil registry must snapshot to nil")
+	}
+	// A nil root scope propagates nil to everything below it.
+	sc := r.Root().Scope("disk").Scope("0")
+	if sc != nil {
+		t.Fatal("nil scope must stay nil")
+	}
+	if sc.Counter("reads") != nil || sc.Histogram("lat") != nil {
+		t.Fatal("metrics under a nil scope must be nil")
+	}
+	sc.ProbeCounter("x", func() int64 { return 1 }) // must not panic
+}
+
+// Recording through live handles must not allocate: the hot path pays a
+// field update, nothing more.
+func TestLiveHandlesZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Root().Scope("disk")
+	c := sc.Counter("reads")
+	g := sc.Gauge("queue")
+	tg := sc.TimeGauge("dirty")
+	h := sc.Histogram("lat")
+	now := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		now += 10
+		tg.Set(now, 2)
+		h.Observe(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestScopeNamesAndSharing(t *testing.T) {
+	r := NewRegistry()
+	root := r.Root()
+	a := root.Scope("vm").Counter("reserve")
+	b := root.Scope("vm").Counter("reserve")
+	if a != b {
+		t.Fatal("same name must return the same counter (shared across emitters)")
+	}
+	a.Add(2)
+	b.Inc()
+	snap := r.Snapshot()
+	mv, ok := snap.Get("vm.reserve")
+	if !ok || mv.Value != 3 || mv.Kind != "counter" {
+		t.Fatalf("vm.reserve = %+v, ok=%v; want counter value 3", mv, ok)
+	}
+}
+
+func TestCrossKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Root()
+	sc.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as both counter and gauge must panic")
+		}
+	}()
+	sc.Gauge("x")
+}
+
+func TestTimeGaugeIntegration(t *testing.T) {
+	var g TimeGauge
+	// Level 2 over [0,10), level 5 over [10,30): mean = (20+100)/30 = 4.
+	g.Set(0, 2)
+	g.Set(10, 5)
+	g.Set(30, 0)
+	if got := g.Mean(); got != 4 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+	if g.Peak() != 5 {
+		t.Fatalf("Peak = %d, want 5", g.Peak())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1010 {
+		t.Fatalf("count/sum = %d/%d, want 6/1010", h.Count(), h.Sum())
+	}
+	// 0 → bucket 0; 1 → len 1; 2,3 → len 2; 4 → len 3; 1000 → len 10.
+	want := []int64{1, 1, 2, 1, 1}
+	got := []int64{h.buckets[0], h.buckets[1], h.buckets[2], h.buckets[3], h.buckets[10]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		root := r.Root()
+		root.Scope("z").Counter("c").Add(1)
+		root.Scope("a").Gauge("g").Set(2)
+		root.Scope("m").Histogram("h").Observe(9)
+		root.Scope("p").ProbeCounter("n", func() int64 { return 42 })
+		root.Scope("p").ProbeGauge("lvl", func() int64 { return -3 })
+		return r.Snapshot()
+	}
+	s1, s2 := build(), build()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("identical registries must snapshot identically")
+	}
+	for i := 1; i < len(s1); i++ {
+		if s1[i-1].Name >= s1[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", s1[i-1].Name, s1[i].Name)
+		}
+	}
+	if mv, _ := s1.Get("p.n"); mv.Value != 42 || mv.Kind != "counter" {
+		t.Fatalf("probe counter = %+v, want 42", mv)
+	}
+	if mv, _ := s1.Get("p.lvl"); mv.Value != -3 || mv.Kind != "gauge" {
+		t.Fatalf("probe gauge = %+v, want -3", mv)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(c int64, gv, gp int64, hv int64) Snapshot {
+		r := NewRegistry()
+		root := r.Root()
+		root.Counter("c").Add(uint64(c))
+		g := root.Gauge("g")
+		g.Set(gp)
+		g.Set(gv)
+		root.Histogram("h").Observe(hv)
+		return r.Snapshot()
+	}
+	a := mk(3, 1, 9, 4)
+	b := mk(5, 2, 7, 100)
+	m := a.Merge(b)
+	if mv, _ := m.Get("c"); mv.Value != 8 {
+		t.Fatalf("merged counter = %d, want 8", mv.Value)
+	}
+	if mv, _ := m.Get("g"); mv.Value != 2 || mv.Peak != 9 {
+		t.Fatalf("merged gauge = %+v, want value 2 peak 9", mv)
+	}
+	if mv, _ := m.Get("h"); mv.Count != 2 || mv.Sum != 104 || mv.Min != 4 || mv.Max != 100 {
+		t.Fatalf("merged histogram = %+v", mv)
+	}
+	// Disjoint names pass through.
+	r := NewRegistry()
+	r.Root().Counter("only").Inc()
+	m2 := a.Merge(r.Snapshot())
+	if mv, ok := m2.Get("only"); !ok || mv.Value != 1 {
+		t.Fatalf("disjoint metric lost in merge: %+v ok=%v", mv, ok)
+	}
+}
+
+func TestTraceCapDrops(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Span(0, "a", 0, 1)
+	tr.Instant(0, "b", 2)
+	tr.Span(0, "c", 3, 4)
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 2/1", tr.Len(), tr.Dropped())
+	}
+}

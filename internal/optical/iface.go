@@ -1,6 +1,7 @@
 package optical
 
 import (
+	"nwcache/internal/obs"
 	"nwcache/internal/sim"
 )
 
@@ -91,6 +92,11 @@ type Iface struct {
 	Drained  uint64
 	Canceled uint64
 	Batches  uint64
+
+	// Span tracing (nil when disabled): each successful drain becomes a
+	// "ring.drain" span on tr's track.
+	tr    *obs.Trace
+	track int
 }
 
 // DrainPolicy selects the next channel to drain.
@@ -137,6 +143,23 @@ func (f *Iface) Cancel(en *Entry) {
 	f.fifos[en.Channel].remove(en)
 	f.Canceled++
 	f.SendACK(en)
+}
+
+// Observe wires the interface's drain statistics into an obs scope as
+// pull-based probes. No-op on a nil scope.
+func (f *Iface) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("drained", func() int64 { return int64(f.Drained) })
+	sc.ProbeCounter("canceled", func() int64 { return int64(f.Canceled) })
+	sc.ProbeCounter("batches", func() int64 { return int64(f.Batches) })
+	sc.ProbeGauge("pending", func() int64 { return int64(f.Pending()) })
+}
+
+// SetTrace routes drain spans onto track of tr (nil disables).
+func (f *Iface) SetTrace(tr *obs.Trace, track int) {
+	f.tr, f.track = tr, track
 }
 
 // PendingOn returns the FIFO depth for a channel.
@@ -201,6 +224,7 @@ func (f *Iface) drainLoop(p *sim.Proc) {
 			}
 			en.State = Draining
 			f.fifos[ch].pop()
+			t0 := p.Now()
 			// Wait for the page to circulate past this interface and
 			// stream it off the fiber. The disk is plugged directly into
 			// the NWCache interface, so the copy bypasses the node's
@@ -213,7 +237,8 @@ func (f *Iface) drainLoop(p *sim.Proc) {
 				continue
 			}
 			f.Drained++
-			f.ring.Drains++
+			f.ring.NoteDrain(en.Channel)
+			f.tr.Span(f.track, "ring.drain", t0, p.Now())
 			f.SendACK(en)
 		}
 	}

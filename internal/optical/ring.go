@@ -19,6 +19,7 @@ package optical
 import (
 	"fmt"
 
+	"nwcache/internal/obs"
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
 )
@@ -72,6 +73,13 @@ type Ring struct {
 	Drains     uint64
 	VictimHits uint64
 	PeakUsed   int
+
+	// Per-channel observation handles, nil until Observe wires them (the
+	// hot paths then pay one nil check each).
+	chInserts []*obs.Counter
+	chDrains  []*obs.Counter
+	chVictims []*obs.Counter
+	tgUsed    *obs.TimeGauge // ring occupancy over simulated time
 }
 
 // New builds the ring from the configuration. With RingChannels == Nodes
@@ -151,7 +159,53 @@ func (r *Ring) InsertOn(ch int, page PageID) *Entry {
 	if u := r.TotalUsed(); u > r.PeakUsed {
 		r.PeakUsed = u
 	}
+	if r.chInserts != nil {
+		r.chInserts[ch].Inc()
+		r.tgUsed.Set(r.e.Now(), int64(r.TotalUsed()))
+	}
 	return en
+}
+
+// NoteDrain counts a page drained off channel ch to disk (called by the
+// NWCache interface once the disk install succeeds).
+func (r *Ring) NoteDrain(ch int) {
+	r.Drains++
+	if r.chDrains != nil {
+		r.chDrains[ch].Inc()
+	}
+}
+
+// NoteVictim counts a victim-cache hit snooped off channel ch (called by
+// the faulting machine layer).
+func (r *Ring) NoteVictim(ch int) {
+	r.VictimHits++
+	if r.chVictims != nil {
+		r.chVictims[ch].Inc()
+	}
+}
+
+// Observe wires the ring into an obs scope: aggregate totals as probes,
+// plus per-channel insert/drain/victim-hit counters ("ch3.inserts") and
+// a simulated-time occupancy gauge. No-op on a nil scope.
+func (r *Ring) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.ProbeCounter("inserts", func() int64 { return int64(r.Inserts) })
+	sc.ProbeCounter("drains", func() int64 { return int64(r.Drains) })
+	sc.ProbeCounter("victim_hits", func() int64 { return int64(r.VictimHits) })
+	sc.ProbeGauge("peak_used", func() int64 { return int64(r.PeakUsed) })
+	sc.ProbeGauge("used", func() int64 { return int64(r.TotalUsed()) })
+	r.tgUsed = sc.TimeGauge("used_over_time")
+	r.chInserts = make([]*obs.Counter, len(r.channels))
+	r.chDrains = make([]*obs.Counter, len(r.channels))
+	r.chVictims = make([]*obs.Counter, len(r.channels))
+	for i := range r.channels {
+		csc := sc.Scope(fmt.Sprintf("ch%d", i))
+		r.chInserts[i] = csc.Counter("inserts")
+		r.chDrains[i] = csc.Counter("drains")
+		r.chVictims[i] = csc.Counter("victim_hits")
+	}
 }
 
 // OwnerOf returns the node that writes channel ch.
@@ -168,6 +222,9 @@ func (r *Ring) Release(en *Entry) {
 	for i, x := range ch.entries {
 		if x == en {
 			ch.entries = append(ch.entries[:i], ch.entries[i+1:]...)
+			if r.tgUsed != nil {
+				r.tgUsed.Set(r.e.Now(), int64(r.TotalUsed()))
+			}
 			return
 		}
 	}

@@ -25,6 +25,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"nwcache/internal/obs"
 )
 
 // Time is virtual simulation time in pcycles.
@@ -80,6 +82,13 @@ type Engine struct {
 	main       chan struct{} // driver token handed back to Run/KillParked on drain
 	back       chan struct{} // killed proc -> KillParked: "I have unwound"
 	current    *Proc         // proc currently holding control, nil in callbacks
+
+	// Dispatch statistics, maintained unconditionally: plain integer
+	// bumps on already-written cache lines, far below the noise floor of
+	// the ~18 ns dispatch. Exposed to the obs layer as pull-based probes.
+	dispatched uint64 // events fired
+	wakes      uint64 // proc hand-overs/resumes among the dispatched
+	heapPeak   int    // high-water mark of the future-event heap
 }
 
 // New returns an empty engine at time 0.
@@ -167,6 +176,9 @@ func (e *Engine) heapPush(ev *event) {
 	}
 	h[i] = ev
 	e.heap = h
+	if len(h) > e.heapPeak {
+		e.heapPeak = len(h)
+	}
 }
 
 // heapPop removes and returns the minimum-(t, seq) event.
@@ -269,6 +281,7 @@ func (e *Engine) drive(owner *Proc) int {
 		}
 		e.now = ev.t
 		e.pending--
+		e.dispatched++
 		// Recycle before acting: an event firing right now can schedule
 		// into (and a canceled handle can never reach) this slot's next
 		// life.
@@ -279,6 +292,7 @@ func (e *Engine) drive(owner *Proc) int {
 			e.current = nil
 			fn()
 		default: // evWake, evStart
+			e.wakes++
 			if kind == evStart {
 				e.live++
 			}
@@ -321,6 +335,28 @@ func (e *Engine) Cancel(ev Event) {
 // Pending reports the number of scheduled events that have neither fired
 // nor been canceled.
 func (e *Engine) Pending() int { return e.pending }
+
+// Dispatched reports how many events have fired since the engine was
+// created.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// WakeHandoffs reports how many of the dispatched events were process
+// hand-overs (Sleep wake-ups, unparks, starts) rather than callbacks.
+func (e *Engine) WakeHandoffs() uint64 { return e.wakes }
+
+// HeapPeak reports the high-water mark of the future-event heap.
+func (e *Engine) HeapPeak() int { return e.heapPeak }
+
+// Observe registers the engine's dispatch statistics as pull-based
+// probes under sc (conventionally the "sim" scope). Probes are evaluated
+// only at snapshot time, so observation adds no per-event work.
+func (e *Engine) Observe(sc *obs.Scope) {
+	sc.ProbeCounter("events_dispatched", func() int64 { return int64(e.dispatched) })
+	sc.ProbeCounter("wake_handoffs", func() int64 { return int64(e.wakes) })
+	sc.ProbeGauge("heap_peak", func() int64 { return int64(e.heapPeak) })
+	sc.ProbeGauge("events_pending", func() int64 { return int64(e.pending) })
+	sc.ProbeGauge("now_pcycles", func() int64 { return e.now })
+}
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"nwcache/internal/obs"
 	"nwcache/internal/sim"
 )
 
@@ -63,6 +64,16 @@ type FramePool struct {
 	// held a page.
 	Allocs    uint64
 	Evictions uint64
+
+	// Frame state-transition counters, nil until Observe wires them. The
+	// counters are fetched from the registry by name, so every node's pool
+	// observed under the same scope shares one machine-wide set.
+	cReserve   *obs.Counter
+	cUnreserve *obs.Counter
+	cAdopt     *obs.Counter
+	cUnmap     *obs.Counter
+	cRelease   *obs.Counter
+	cRemove    *obs.Counter
 }
 
 // NewFramePool returns a pool of `frames` free frames for a node.
@@ -88,6 +99,23 @@ func NewFramePool(e *sim.Engine, node, frames, minFree int) *FramePool {
 		f.fslots = int32(i)
 	}
 	return f
+}
+
+// Observe wires the pool's frame state machine into an obs scope: one
+// counter per transition (reserve, adopt, unmap, release, ...). Several
+// pools observed under the same scope share the counters (registry
+// get-or-create), yielding machine-wide transition totals. No-op on a
+// nil scope; the hot allocation paths then pay one nil check each.
+func (f *FramePool) Observe(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	f.cReserve = sc.Counter("reserve")
+	f.cUnreserve = sc.Counter("unreserve")
+	f.cAdopt = sc.Counter("adopt")
+	f.cUnmap = sc.Counter("unmap")
+	f.cRelease = sc.Counter("release_frame")
+	f.cRemove = sc.Counter("remove")
 }
 
 // Free returns the current free-frame count.
@@ -189,6 +217,7 @@ func (f *FramePool) Reserve() {
 	f.free--
 	f.reserved++
 	f.Allocs++
+	f.cReserve.Inc()
 	if f.BelowFloor() {
 		f.Pressure.Signal()
 	}
@@ -202,6 +231,7 @@ func (f *FramePool) Unreserve() {
 	}
 	f.reserved--
 	f.free++
+	f.cUnreserve.Inc()
 	f.FrameFreed.Broadcast()
 }
 
@@ -220,6 +250,7 @@ func (f *FramePool) AdoptReserved(page PageID) {
 	f.nodes[s].page = page
 	f.setSlot(page, s)
 	f.pushFront(s)
+	f.cAdopt.Inc()
 }
 
 // Touch refreshes page's LRU position (on access). No-op if not present.
@@ -262,6 +293,7 @@ func (f *FramePool) Remove(page PageID) {
 	f.drop(page, "removing")
 	f.free++
 	f.Evictions++
+	f.cRemove.Inc()
 	f.FrameFreed.Broadcast()
 }
 
@@ -272,6 +304,7 @@ func (f *FramePool) Remove(page PageID) {
 func (f *FramePool) Unmap(page PageID) {
 	f.drop(page, "unmapping")
 	f.detached++
+	f.cUnmap.Inc()
 }
 
 // ReleaseFrame frees a frame previously detached with Unmap (the ACK
@@ -283,5 +316,6 @@ func (f *FramePool) ReleaseFrame() {
 	f.detached--
 	f.free++
 	f.Evictions++
+	f.cRelease.Inc()
 	f.FrameFreed.Broadcast()
 }

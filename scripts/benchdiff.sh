@@ -2,19 +2,31 @@
 # Compare two bench.sh outputs (e.g. BENCH_1.json vs BENCH_2.json) and
 # print per-benchmark deltas for time and allocations.
 #
-# Usage: scripts/benchdiff.sh OLD.json NEW.json
+# Usage: scripts/benchdiff.sh [--warn] OLD.json NEW.json
 #
 # Benchmarks present in only one file are listed without a delta. Exits
 # non-zero on malformed input, zero otherwise (it reports; it does not
-# judge regressions).
+# judge regressions — CI stays green either way).
+#
+# With --warn, benchmarks whose ns/op regressed by more than
+# BENCHDIFF_THRESHOLD percent (default 15) are additionally flagged as
+# GitHub Actions "::warning::" annotations. Bench noise on shared
+# runners makes a hard gate counterproductive, so the warning is
+# advisory: --warn still always exits 0.
 set -eu
 
+warn=0
+if [ "${1:-}" = "--warn" ]; then
+  warn=1
+  shift
+fi
 if [ $# -ne 2 ]; then
-  echo "usage: $0 OLD.json NEW.json" >&2
+  echo "usage: $0 [--warn] OLD.json NEW.json" >&2
   exit 2
 fi
 old="$1"
 new="$2"
+threshold="${BENCHDIFF_THRESHOLD:-15}"
 
 # bench.sh emits one record per line; pull the fields back out with awk.
 extract() {
@@ -64,3 +76,23 @@ awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" '
       printf "%-34s %14s %14s %8s %12s %12s %8s   (dropped)\n", name, ons[name], "-", "-", oal[name], "-", "-"
   }
 ' "${TMPDIR:-/tmp}/benchdiff_new.$$"
+
+if [ "$warn" = 1 ]; then
+  awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" -v thr="$threshold" '
+    BEGIN {
+      while ((getline line < oldfile) > 0) {
+        split(line, f, " ")
+        ons[f[1]] = f[2]
+      }
+      close(oldfile)
+    }
+    {
+      name = $1; nns = $2
+      if (!(name in ons) || ons[name] + 0 <= 0) next
+      pct = 100 * (nns - ons[name]) / ons[name]
+      if (pct > thr)
+        printf "::warning title=bench regression::%s ns/op regressed %+.1f%% (%s -> %s, threshold %s%%)\n",
+          name, pct, ons[name], nns, thr
+    }
+  ' "${TMPDIR:-/tmp}/benchdiff_new.$$"
+fi
