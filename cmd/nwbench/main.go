@@ -54,6 +54,8 @@ func main() {
 		manifestOut = flag.String("manifest-out", "", "write a run-manifest JSON (params, seed, merged metrics, stdout digest) to this file")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		reliability = flag.String("reliability", "", "run the fault-injection reliability matrix for this application instead of the tables")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the reliability matrix's fault injector")
 	)
 	flag.IntVar(jobs, "parallel", runtime.GOMAXPROCS(0), "alias for -j")
 	flag.Parse()
@@ -111,7 +113,17 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := runSelections(suite, out, *report, *all, *tableN, *figureN, *format, *jobs); err != nil {
+	if *reliability != "" {
+		// Naive demand paging sends every miss to the media, so the
+		// escalating fault plans actually exercise the disks and the ring;
+		// optimal prefetching would hide most injected faults behind the
+		// controller cache.
+		t, err := suite.ReliabilityMatrix(*reliability, core.Naive, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, t)
+	} else if err := runSelections(suite, out, *report, *all, *tableN, *figureN, *format, *jobs); err != nil {
 		fatal(err)
 	}
 

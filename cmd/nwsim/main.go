@@ -21,6 +21,7 @@ import (
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/fault"
 	"nwcache/internal/obs"
 	"nwcache/internal/param"
 )
@@ -42,6 +43,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
 		maniOut    = flag.String("manifest-out", "", "write a run manifest JSON (params, seed, metrics, output digest)")
 		metricsF   = flag.Bool("metrics", false, "print the metric snapshot after the run")
+		faultPlan  = flag.String("fault-plan", "", "fault-plan spec file (see internal/fault); empty = no fault injection")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault injector's dedicated PRNG stream")
+		recovery   = flag.String("recovery", "", "recovery policy: aggressive (paper default) or conservative")
 	)
 	flag.Float64Var(&cfg.Scale, "scale", 1.0, "workload scale (1.0 = paper inputs)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
@@ -127,9 +131,35 @@ func main() {
 		cfg.MinFreeFrames = *minFree
 	}
 
+	// Fault injection: parse the plan (and policy) before spending any
+	// simulation time, so a bad spec fails fast.
+	var injector *fault.Injector
+	if *faultPlan != "" || *recovery != "" {
+		spec := ""
+		if *faultPlan != "" {
+			raw, err := os.ReadFile(*faultPlan)
+			if err != nil {
+				fatal(err)
+			}
+			spec = string(raw)
+		}
+		plan, err := fault.Parse(spec)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", *faultPlan, err))
+		}
+		policy, err := fault.ParsePolicy(*recovery)
+		if err != nil {
+			fatal(err)
+		}
+		injector = fault.NewInjector(plan, *faultSeed, policy)
+	}
+
 	if *seeds > 1 {
 		if *traceOut != "" || *maniOut != "" || *metricsF {
 			fatal(fmt.Errorf("-trace-out/-manifest-out/-metrics require a single run (-seeds 1)"))
+		}
+		if injector != nil {
+			fatal(fmt.Errorf("-fault-plan/-recovery require a single run (-seeds 1)"))
 		}
 		agg, err := pool.RunSeeds(pool.New(*jobs), *app, kind, mode, cfg, *seeds)
 		if err != nil {
@@ -153,6 +183,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	m.AttachFaults(injector)
 
 	// Observability: a metrics registry when any consumer wants a
 	// snapshot, a span trace for -trace-out, and a digesting stdout tee

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"nwcache/internal/disk"
+	"nwcache/internal/fault"
 	"nwcache/internal/machine"
 	"nwcache/internal/optical"
 	"nwcache/internal/param"
@@ -141,6 +142,14 @@ type Cell struct {
 	RRDrain bool // run the NWCache drain-policy ablation (round-robin)
 	Cfg     Config
 
+	// Fault injection (all zero = perfect hardware, the default).
+	// FaultPlan is a fault-plan spec in the internal/fault syntax,
+	// FaultSeed seeds the injector's dedicated PRNG stream, and Recovery
+	// names the recovery policy ("", "aggressive", or "conservative").
+	FaultPlan string
+	FaultSeed int64
+	Recovery  string
+
 	// Obs, when non-nil, is invoked with the freshly built machine before
 	// the run starts — the hook the observability layer uses to attach a
 	// metrics registry and span trace (machine.Observe). It is excluded
@@ -171,10 +180,28 @@ func (c Cell) Run() (*Result, error) {
 			}
 		}
 	}
+	if c.faulted() {
+		plan, err := fault.Parse(c.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		policy, err := fault.ParsePolicy(c.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		m.AttachFaults(fault.NewInjector(plan, c.FaultSeed, policy))
+	}
 	if c.Obs != nil {
 		c.Obs(c, m)
 	}
 	return m.Run(prog)
+}
+
+// faulted reports whether the cell requests fault injection (a bare
+// Recovery setting still attaches an injector: the conservative policy
+// changes swap-out semantics even with an empty plan).
+func (c Cell) faulted() bool {
+	return c.FaultPlan != "" || c.Recovery != ""
 }
 
 // Key returns a canonical hash of everything that can influence the
@@ -188,6 +215,10 @@ func (c Cell) Key() string {
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%d|%d|%t|", c.App, c.Kind, c.Mode, c.RRDrain)
+	if c.faulted() {
+		// Gated so fault-free cells keep their historical keys.
+		fmt.Fprintf(h, "fault|%d|%s|%s|", c.FaultSeed, c.Recovery, c.FaultPlan)
+	}
 	h.Write(blob)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -197,6 +228,10 @@ func (c Cell) Label() string {
 	l := fmt.Sprintf("%s / %s / %s", c.App, c.Kind, c.Mode)
 	if c.RRDrain {
 		l += " / rr-drain"
+	}
+	if c.faulted() {
+		policy, _ := fault.ParsePolicy(c.Recovery)
+		l += fmt.Sprintf(" / faults(%s)", policy)
 	}
 	return l
 }

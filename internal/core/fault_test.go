@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// faultCell is a small faulted evaluation cell that actually exercises
+// the disk-error machinery (naive demand paging sends misses to media).
+func faultCell() Cell {
+	return Cell{
+		App:       "sor",
+		Kind:      NWCache,
+		Mode:      Naive,
+		Cfg:       fastCfg(),
+		FaultPlan: "disk read-error rate=0.5 retries=2 backoff=500\nring corrupt rate=0.2\n",
+		FaultSeed: 1,
+		Recovery:  "aggressive",
+	}
+}
+
+// TestFaultDisabledEquivalence pins the golden-output contract at the
+// cell level: a cell with zero fault fields produces exactly the result
+// of the plain Run path — same timing, no fault stats, no fault block in
+// the rendered output.
+func TestFaultDisabledEquivalence(t *testing.T) {
+	cfg := fastCfg()
+	plain, err := Run("sor", NWCache, Naive, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCell, err := (Cell{App: "sor", Kind: NWCache, Mode: Naive, Cfg: cfg}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExecTime != viaCell.ExecTime || plain.Faults != viaCell.Faults ||
+		plain.SwapOuts != viaCell.SwapOuts {
+		t.Fatalf("cell run diverges from plain run: exec %d/%d faults %d/%d swaps %d/%d",
+			plain.ExecTime, viaCell.ExecTime, plain.Faults, viaCell.Faults,
+			plain.SwapOuts, viaCell.SwapOuts)
+	}
+	if viaCell.FaultStats != nil || viaCell.FaultSummary != "" {
+		t.Fatal("unfaulted cell collected fault state")
+	}
+	if strings.Contains(viaCell.String(), "faults (") {
+		t.Fatal("unfaulted rendered result contains a fault block")
+	}
+}
+
+// TestFaultCellDeterminism runs the same faulted cell twice and demands
+// identical results, including the fault account.
+func TestFaultCellDeterminism(t *testing.T) {
+	a, err := faultCell().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faultCell().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecTime != b.ExecTime {
+		t.Fatalf("exec time differs: %d vs %d", a.ExecTime, b.ExecTime)
+	}
+	if a.FaultStats == nil || b.FaultStats == nil {
+		t.Fatal("faulted cell collected no fault stats")
+	}
+	if *a.FaultStats != *b.FaultStats {
+		t.Fatalf("fault stats differ:\n%+v\n%+v", *a.FaultStats, *b.FaultStats)
+	}
+	if a.FaultStats.DiskReadErrors == 0 {
+		t.Fatal("rate=0.5 plan injected no disk read errors; cell is not exercising faults")
+	}
+	if !strings.Contains(a.String(), "faults (policy=aggressive, seed=1)") {
+		t.Fatalf("rendered result misses the fault block:\n%s", a.String())
+	}
+}
+
+// TestFaultKeyGating checks the memoization key: fault-free cells keep
+// their historical keys (the fault fields are gated out), while any
+// fault field flips the key.
+func TestFaultKeyGating(t *testing.T) {
+	base := Cell{App: "sor", Kind: NWCache, Mode: Naive, Cfg: fastCfg()}
+	zeroed := base
+	zeroed.FaultPlan, zeroed.FaultSeed, zeroed.Recovery = "", 0, ""
+	if base.Key() != zeroed.Key() {
+		t.Fatal("explicitly zeroed fault fields changed the key")
+	}
+	variants := []Cell{base, base, base, base}
+	variants[1].FaultPlan = "ring corrupt rate=0.1\n"
+	variants[2].FaultPlan = "ring corrupt rate=0.1\n"
+	variants[2].FaultSeed = 2
+	variants[3].Recovery = "conservative"
+	seen := map[string]int{}
+	for i, c := range variants {
+		if j, dup := seen[c.Key()]; dup {
+			t.Fatalf("cells %d and %d share a key despite different fault fields", j, i)
+		}
+		seen[c.Key()] = i
+	}
+}
+
+// TestFaultCellBadSpecErrors checks a malformed plan or policy fails the
+// run instead of being silently ignored.
+func TestFaultCellBadSpecErrors(t *testing.T) {
+	c := faultCell()
+	c.FaultPlan = "disk read-error rate=nonsense\n"
+	if _, err := c.Run(); err == nil {
+		t.Fatal("malformed fault plan accepted")
+	}
+	c = faultCell()
+	c.Recovery = "heroic"
+	if _, err := c.Run(); err == nil {
+		t.Fatal("unknown recovery policy accepted")
+	}
+}

@@ -23,6 +23,7 @@ package disk
 import (
 	"fmt"
 
+	"nwcache/internal/fault"
 	"nwcache/internal/obs"
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
@@ -158,6 +159,12 @@ type Disk struct {
 	hGroup  *obs.Histogram // write-combining run lengths
 	tr      *obs.Trace     // media access spans
 	track   int
+
+	// Fault injection (nil = perfect hardware): transient media errors
+	// with the controller's retry/backoff firmware, permanent bad-block
+	// remaps, and degraded-mode latency windows.
+	flt   *fault.Injector
+	fltID int // this disk's index in the fault plan's disk= namespace
 }
 
 // New constructs a disk and starts its write-back daemon.
@@ -182,12 +189,12 @@ func New(e *sim.Engine, name string, cfg param.Config, mode PrefetchMode) *Disk 
 		pageXfer:     cfg.PageDiskTime(),
 		maxBlockSeen: 1,
 		wbDwell:      cfg.WBDwell,
-		wbKick:       sim.NewCond(e),
+		wbKick:       sim.NewCond(e).Named(name + ".wbKick"),
 		pendingPF:    make(map[int64]bool),
 		streamHead:   make([]int64, cfg.Nodes),
 		streamDepth:  cfg.StreamDepth,
 	}
-	d.pendingPFDone = sim.NewCond(e)
+	d.pendingPFDone = sim.NewCond(e).Named(name + ".pfDone")
 	if cfg.DCD {
 		d.dcd = newDCDLog(e, d, cfg.DCDLogBlocks)
 	}
@@ -220,6 +227,45 @@ func (d *Disk) Observe(sc *obs.Scope) {
 // SetTrace routes media access spans onto track of tr (nil disables).
 func (d *Disk) SetTrace(tr *obs.Trace, track int) {
 	d.tr, d.track = tr, track
+}
+
+// SetFaults attaches a fault injector; id is this disk's index in the
+// plan's disk= namespace. A nil injector restores perfect hardware.
+func (d *Disk) SetFaults(inj *fault.Injector, id int) {
+	d.flt, d.fltID = inj, id
+}
+
+// mediaAccess performs one mechanism access of dur pcycles. With a fault
+// injector attached it applies the active degraded-mode latency
+// multiplier and the transient-error protocol: on an injected error the
+// controller retries with exponential backoff up to the plan's budget,
+// then gives up (the stale data ages in place; a later pass rewrites it).
+func (d *Disk) mediaAccess(p *sim.Proc, pri sim.Priority, dur int64, read bool) {
+	if d.flt == nil {
+		d.arm.Use(p, pri, dur)
+		return
+	}
+	dur *= d.flt.DegradeMult(d.fltID, p.Now())
+	retries, backoff := d.flt.RetrySpec(read)
+	for attempt := 0; ; attempt++ {
+		d.arm.Use(p, pri, dur)
+		var failed bool
+		if read {
+			failed = d.flt.DiskReadError()
+		} else {
+			failed = d.flt.DiskWriteError()
+		}
+		if !failed {
+			return
+		}
+		if attempt >= retries {
+			d.flt.NoteGiveUp(read)
+			return
+		}
+		slept := backoff << attempt
+		d.flt.NoteRetry(slept)
+		p.Sleep(slept)
+	}
 }
 
 // noteDirty samples the dirty-slot gauge (call after any transition).
@@ -364,11 +410,12 @@ func (d *Disk) Read(p *sim.Proc, from int, page PageID, block int64) ReadOutcome
 	}
 	// Dedicated media read.
 	d.MediaReads++
-	dur := d.seekTime(block) + d.rot + d.pageXfer
+	mediaBlock := d.flt.RemapBlock(d.fltID, block)
+	dur := d.seekTime(mediaBlock) + d.rot + d.pageXfer
 	t0 := p.Now()
-	d.arm.Use(p, sim.High, dur)
+	d.mediaAccess(p, sim.High, dur, true)
 	d.tr.Span(d.track, "disk.read", t0, p.Now())
-	d.headPos = block
+	d.headPos = mediaBlock
 	d.installClean(page, block, false)
 	switch d.mode {
 	case Naive:
@@ -447,7 +494,7 @@ func (d *Disk) spawnSequentialPrefetch(page PageID, block int64, n int) {
 	}
 	d.e.SpawnDaemon(d.name+".prefetch", func(p *sim.Proc) {
 		// Head is already at block: sequential read costs transfer only.
-		d.arm.Use(p, sim.High, int64(n)*d.pageXfer)
+		d.mediaAccess(p, sim.High, int64(n)*d.pageXfer, true)
 		d.headPos = block + int64(n)
 		for k := 1; k <= n; k++ {
 			d.installClean(page+int64(k), block+int64(k), true)
@@ -546,10 +593,10 @@ func (d *Disk) writebackLoop(p *sim.Proc) {
 			d.wbBlks = blocks[:0]
 			d.dcd.appendBatch(p, blocks)
 		} else {
-			start := d.slots[group[0]].block
+			start := d.flt.RemapBlock(d.fltID, d.slots[group[0]].block)
 			dur := d.seekTime(start) + d.rot + int64(len(group))*d.pageXfer
 			t0 := p.Now()
-			d.arm.Use(p, sim.Low, dur) // background write-back: low priority
+			d.mediaAccess(p, sim.Low, dur, false) // background write-back: low priority
 			d.tr.Span(d.track, "disk.write", t0, p.Now())
 			d.headPos = start + int64(len(group))
 			d.MediaWrite++

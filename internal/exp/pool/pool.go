@@ -16,7 +16,9 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"nwcache/internal/core"
@@ -84,8 +86,17 @@ func (p *Pool) Submit(c core.Cell) (f *Future, fresh bool) {
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		defer close(f.done)
+		defer func() {
+			// A panicking cell must not take down the whole matrix: convert
+			// the crash into this cell's error and let its siblings finish.
+			if r := recover(); r != nil {
+				f.res = nil
+				f.err = fmt.Errorf("pool: cell %s (key %.12s…) panicked: %v\n%s",
+					c.Label(), key, r, debug.Stack())
+			}
+		}()
 		f.res, f.err = c.Run()
-		close(f.done)
 	}()
 	return f, true
 }

@@ -1,10 +1,12 @@
 package pool
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
 	"nwcache/internal/core"
+	"nwcache/internal/machine"
 )
 
 func fastCfg() core.Config {
@@ -145,5 +147,30 @@ func TestWorkersDefault(t *testing.T) {
 	}
 	if got := New(3).Workers(); got != 3 {
 		t.Fatalf("Workers = %d, want 3", got)
+	}
+}
+
+func TestSubmitRecoversPanickingCell(t *testing.T) {
+	p := New(2)
+	boom := cell("lu", core.Standard, core.Naive)
+	// The Obs hook fires inside Cell.Run on the worker goroutine, so a
+	// panicking hook models any crash inside the simulation itself.
+	boom.Obs = func(core.Cell, *machine.Machine) { panic("injected test crash") }
+	res, err := p.Run(boom)
+	if err == nil {
+		t.Fatal("panicking cell returned no error")
+	}
+	if res != nil {
+		t.Fatalf("panicking cell returned a result: %+v", res)
+	}
+	for _, frag := range []string{boom.Label(), "panicked", "injected test crash",
+		boom.Key()[:12], "pool_test.go"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("panic error %q missing %q", err, frag)
+		}
+	}
+	// The pool survives: sibling cells still complete normally.
+	if _, err := p.Run(cell("lu", core.NWCache, core.Naive)); err != nil {
+		t.Fatalf("pool broken after a panicking cell: %v", err)
 	}
 }

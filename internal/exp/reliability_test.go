@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"nwcache/internal/core"
+)
+
+// TestReliabilityMatrixRenders runs the full escalating sweep on a
+// shrunken workload and checks every row/level lands in the table and
+// the conservative zero-loss invariant holds (ReliabilityMatrix errors
+// out if it does not).
+func TestReliabilityMatrixRenders(t *testing.T) {
+	s := fastSuite()
+	tab, err := s.ReliabilityMatrix("sor", core.Naive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{
+		"standard/aggressive", "nwcache/aggressive", "nwcache/conservative",
+		"none", "low", "medium", "high",
+		"DiskErr", "Voided", "Lost", "Recovered",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "nwcache/conservative"); n != 4 {
+		t.Fatalf("conservative row appears %d times, want 4 (one per level):\n%s", n, out)
+	}
+}
+
+// TestReliabilityMatrixDeterminism renders the matrix twice on separate
+// suites and demands byte-identical tables: the fault plans are derived
+// from the deterministic baseline and each cell replays its own PRNG
+// stream.
+func TestReliabilityMatrixDeterminism(t *testing.T) {
+	a, err := fastSuite().ReliabilityMatrix("sor", core.Naive, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fastSuite().ReliabilityMatrix("sor", core.Naive, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("matrix not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

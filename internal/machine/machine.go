@@ -19,6 +19,7 @@ import (
 
 	"nwcache/internal/coherence"
 	"nwcache/internal/disk"
+	"nwcache/internal/fault"
 	"nwcache/internal/mesh"
 	"nwcache/internal/obs"
 	"nwcache/internal/optical"
@@ -141,6 +142,9 @@ type Machine struct {
 	barrier *sim.Barrier
 	locks   []*sim.Mutex // application locks by id, grown on demand
 
+	// flt is the fault injector (nil = perfect hardware); see AttachFaults.
+	flt *fault.Injector
+
 	rng *rand.Rand
 }
 
@@ -168,7 +172,7 @@ func (n *Node) getOKCond(e *sim.Engine) *sim.Cond {
 		n.condPool = n.condPool[:k-1]
 		return c
 	}
-	return sim.NewCond(e)
+	return sim.NewCond(e).Named("diskOK")
 }
 
 // waitOK parks p until the disk's OK for page arrives (deliverOK signals
@@ -224,10 +228,10 @@ func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) 
 			TLB:      tlb.New(cfg.TLBEntries),
 			CC:       coherence.NewCache(i, cfg.L2SubBlocks),
 			Pool:     vm.NewFramePool(e, i, cfg.FramesPerNode(), cfg.MinFreeFrames),
-			swapSem:  sim.NewSemaphore(e, cfg.SwapQueueDepth),
+			swapSem:  sim.NewSemaphore(e, cfg.SwapQueueDepth).Named(fmt.Sprintf("swapsem%d", i)),
 			swapName: fmt.Sprintf("%s%d", swapKind, i),
-			chanRoom: sim.NewCond(e),
-			ringTx:   sim.NewMutex(e),
+			chanRoom: sim.NewCond(e).Named(fmt.Sprintf("chanroom%d", i)),
+			ringTx:   sim.NewMutex(e).Named(fmt.Sprintf("ringtx%d", i)),
 		}
 		m.Nodes = append(m.Nodes, n)
 	}
@@ -300,6 +304,7 @@ func (m *Machine) deliverRingACK(from int, en *optical.Entry) {
 			pte.Arrived.Broadcast()
 		}
 		m.emit(trace.RingRelease, to, en.Page, 0)
+		m.flt.NoteRingRelease(m.E.Now(), en.InsertedAt)
 		m.Ring.Release(en)
 		m.Nodes[to].chanRoom.Broadcast()
 		// Room on the ring means drains happened; nothing else to do —

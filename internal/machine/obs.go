@@ -58,6 +58,7 @@ func (m *Machine) Observe(reg *obs.Registry, tr *obs.Trace) {
 	m.hFaultDisk = fsc.Histogram("disk_pcycles")
 	m.hFaultRing = fsc.Histogram("ring_pcycles")
 	m.hSwap = root.Scope("swap").Histogram("pcycles")
+	m.flt.Observe(root.Scope("faultinj"))
 	m.observeAggregates(root.Scope("machine"))
 }
 

@@ -28,6 +28,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&sb, "network traffic:     %d messages, %.2f MB, max link util %.1f%%\n",
 		r.NetMessages, float64(r.NetBytes)/(1<<20), r.MaxLinkUtil*100)
 	fmt.Fprintf(&sb, "accesses:            %d local, %d remote\n\n", r.LocalAccs, r.RemoteAccs)
+	if r.FaultSummary != "" {
+		sb.WriteString(r.FaultSummary)
+		sb.WriteString("\n\n")
+	}
 
 	t := &stats.Table{
 		Title:   "Execution time breakdown (fraction of total)",

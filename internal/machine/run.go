@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"nwcache/internal/fault"
 	"nwcache/internal/sim"
 	"nwcache/internal/stats"
 )
@@ -47,6 +48,13 @@ type Result struct {
 	RingPeakUsed int
 	RemoteAccs   uint64
 	LocalAccs    uint64
+
+	// FaultStats snapshots the injector's account when fault injection was
+	// attached (nil otherwise — the report then omits the fault section,
+	// keeping unfaulted output byte-identical to builds without the
+	// subsystem). FaultSummary is the injector's rendered block.
+	FaultStats   *fault.Stats
+	FaultSummary string
 }
 
 // Run executes a program on the machine and collects the result. A
@@ -127,6 +135,11 @@ func (m *Machine) collect(prog Program) *Result {
 	r.MaxLinkUtil = m.Mesh.MaxLinkUtilization()
 	if m.Ring != nil {
 		r.RingPeakUsed = m.Ring.PeakUsed
+	}
+	if m.flt != nil {
+		s := m.flt.Stats
+		r.FaultStats = &s
+		r.FaultSummary = m.flt.Summary()
 	}
 	return r
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"nwcache/internal/disk"
+	"nwcache/internal/optical"
 	"nwcache/internal/sim"
 	"nwcache/internal/trace"
 	"nwcache/internal/vm"
@@ -121,6 +122,33 @@ func (m *Machine) invalidateCaches(page PageID) {
 // resend. The frame is only reusable when the final ACK arrives.
 func (m *Machine) swapToDisk(p *sim.Proc, n *Node, en *vm.Entry, page PageID, start sim.Time) {
 	defer n.swapSem.Release()
+	m.swapViaMesh(p, n, en, page, start)
+}
+
+// swapViaMesh finishes a swap-out over the standard mesh path: the
+// Standard machine's only path, and the NWCache machine's fallback when
+// an injected ring outage takes the node's transmitter down.
+func (m *Machine) swapViaMesh(p *sim.Proc, n *Node, en *vm.Entry, page PageID, start sim.Time) {
+	m.sendPageToDisk(p, n, page)
+	n.Pool.ReleaseFrame()
+	dur := p.Now() - start
+	n.SwapTime.Add(float64(dur))
+	n.SwapHist.Add(float64(dur))
+	m.hSwap.Observe(dur)
+	m.Spans.Span(m.swapTrack(n.ID), "swap.disk", start, p.Now())
+	m.emit(trace.SwapDone, n.ID, page, dur)
+	en.Lock.Lock(p)
+	en.State = vm.Unmapped
+	en.Owner = -1
+	en.Dirty = false
+	en.Arrived.Broadcast()
+	en.Lock.Unlock()
+}
+
+// sendPageToDisk streams one page into its disk's controller cache —
+// memory bus, mesh, I/O bus, the ACK/NACK/OK flow-control protocol —
+// and returns once the final ACK has crossed back over the mesh.
+func (m *Machine) sendPageToDisk(p *sim.Proc, n *Node, page PageID) {
 	d, dn := m.DiskFor(page)
 	block := m.Layout.BlockFor(page)
 	for {
@@ -144,19 +172,6 @@ func (m *Machine) swapToDisk(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	// ACK message back across the mesh; the frame is reusable on receipt.
 	ackArrive := m.Mesh.Transit(p.Now(), dn, n.ID, m.Cfg.CtrlMsgLen)
 	p.SleepUntil(ackArrive)
-	n.Pool.ReleaseFrame()
-	dur := p.Now() - start
-	n.SwapTime.Add(float64(dur))
-	n.SwapHist.Add(float64(dur))
-	m.hSwap.Observe(dur)
-	m.Spans.Span(m.swapTrack(n.ID), "swap.disk", start, p.Now())
-	m.emit(trace.SwapDone, n.ID, page, dur)
-	en.Lock.Lock(p)
-	en.State = vm.Unmapped
-	en.Owner = -1
-	en.Dirty = false
-	en.Arrived.Broadcast()
-	en.Lock.Unlock()
 }
 
 // swapToRing runs the NWCache swap-out: wait for room on this node's cache
@@ -169,7 +184,18 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	// node's channels; with the OTDM extension a node owns several, and
 	// Insert picks the first with room).
 	n.ringTx.Lock(p)
-	for !m.Ring.HasRoomFor(n.ID) {
+	for {
+		if m.flt.RingTxDown(n.ID, p.Now()) {
+			// Injected whole-channel outage: the transmitter is dark, so
+			// this swap-out falls back to the standard mesh path.
+			n.ringTx.Unlock()
+			m.flt.NoteOutageFallback()
+			m.swapViaMesh(p, n, en, page, start)
+			return
+		}
+		if m.Ring.HasRoomFor(n.ID) {
+			break
+		}
 		n.chanRoom.Wait(p)
 	}
 	stages := append(n.stageBuf[:0],
@@ -182,7 +208,12 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	p.Sleep(m.Cfg.PageRingTime()) // modulation onto the writable channel
 	entry := m.Ring.Insert(n.ID, page)
 	n.ringTx.Unlock()
+	m.flt.NoteRingInsert(p.Now())
 	m.emit(trace.RingInsert, n.ID, page, 0)
+	if m.conservative() {
+		m.swapRingConservative(p, n, en, entry, page, start)
+		return
+	}
 	// The frame is reusable right away — the page now lives on the ring.
 	n.Pool.ReleaseFrame()
 	dur := p.Now() - start
@@ -204,4 +235,51 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
 	iface := m.Ifaces[dn]
 	m.E.At(noticeArrive, func() { iface.Notify(entry) })
+}
+
+// swapRingConservative finishes a ring swap-out under the conservative
+// recovery policy: the page table sees the page OnRing (victim reads and
+// drains proceed as usual), but the frame is held until the entry leaves
+// the ring. If an injected I/O-node crash voids the entry first, the
+// page is resent to disk from the still-held frame — the policy's whole
+// point: slower frame reclamation, zero data loss.
+func (m *Machine) swapRingConservative(p *sim.Proc, n *Node, en *vm.Entry, entry *optical.Entry, page PageID, start sim.Time) {
+	en.Lock.Lock(p)
+	en.State = vm.OnRing
+	en.RingEntry = entry
+	en.Owner = -1
+	en.LastSwapper = n.ID
+	en.Dirty = true // the disk has not seen this data yet
+	en.Arrived.Broadcast()
+	en.Lock.Unlock()
+	_, dn := m.DiskFor(page)
+	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
+	iface := m.Ifaces[dn]
+	m.E.At(noticeArrive, func() { iface.Notify(entry) })
+	// Hold the frame until the page is safely off the ring (ACK received
+	// or crash-voided); deliverRingACK and crashIONode broadcast chanRoom.
+	for entry.State != optical.Gone {
+		n.chanRoom.Wait(p)
+	}
+	if entry.Voided {
+		t0 := p.Now()
+		m.sendPageToDisk(p, n, page)
+		m.flt.NoteRecovered(p.Now() - t0)
+		en.Lock.Lock(p)
+		if en.State == vm.OnRing && en.RingEntry == entry {
+			en.State = vm.Unmapped
+			en.Owner = -1
+			en.RingEntry = nil
+			en.Dirty = false
+			en.Arrived.Broadcast()
+		}
+		en.Lock.Unlock()
+	}
+	n.Pool.ReleaseFrame()
+	dur := p.Now() - start
+	n.SwapTime.Add(float64(dur))
+	n.SwapHist.Add(float64(dur))
+	m.hSwap.Observe(dur)
+	m.Spans.Span(m.swapTrack(n.ID), "swap.ring", start, p.Now())
+	m.emit(trace.SwapDone, n.ID, page, dur)
 }

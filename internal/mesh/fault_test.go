@@ -1,0 +1,94 @@
+package mesh
+
+import (
+	"testing"
+
+	"nwcache/internal/fault"
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+)
+
+func flappedMesh(t *testing.T, spec string) (*Mesh, *fault.Injector) {
+	t.Helper()
+	e := sim.New()
+	m := New(e, param.Default()) // 4x2
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan, 1, fault.Aggressive)
+	m.SetFaults(inj)
+	return m, inj
+}
+
+// Node 0 -> node 5 (one east, one north): flapping 0's east link must
+// detour the message YX (north first) at identical uncontended latency.
+func TestFlapReroutesYX(t *testing.T) {
+	clean, _ := flappedMesh(t, "")
+	want := clean.Transit(0, 0, 5, 64)
+
+	m, inj := flappedMesh(t, "mesh flap node=0 dir=east from=0 until=1000\n")
+	got := m.Transit(0, 0, 5, 64)
+	if got != want {
+		t.Fatalf("rerouted transit arrives at %d, clean at %d", got, want)
+	}
+	if inj.Stats.MeshReroutes != 1 || inj.Stats.MeshStalls != 0 {
+		t.Fatalf("stats %+v", inj.Stats)
+	}
+	// The detour must really use the YX links: node 0's east link is idle.
+	if m.links[0][East].Busy != 0 {
+		t.Fatal("flapped link carried traffic")
+	}
+	if m.links[0][North].Busy == 0 {
+		t.Fatal("YX detour did not use the north link")
+	}
+}
+
+// With both the XY and YX first hops cut, the message stalls at the
+// source NI until the XY flap window closes.
+func TestFlapBothRoutesStalls(t *testing.T) {
+	clean, _ := flappedMesh(t, "")
+	base := clean.Transit(0, 0, 5, 64)
+
+	m, inj := flappedMesh(t,
+		"mesh flap node=0 dir=east from=0 until=1000\nmesh flap node=0 dir=north from=0 until=800\n")
+	got := m.Transit(0, 0, 5, 64)
+	if want := base + 1000; got != want {
+		t.Fatalf("stalled transit arrives at %d, want %d", got, want)
+	}
+	if inj.Stats.MeshStalls != 1 {
+		t.Fatalf("stats %+v", inj.Stats)
+	}
+}
+
+// After the flap window the fast path is clean again.
+func TestFlapWindowExpires(t *testing.T) {
+	clean, _ := flappedMesh(t, "")
+	want := clean.Transit(2000, 0, 5, 64)
+
+	m, inj := flappedMesh(t, "mesh flap node=0 dir=east from=0 until=1000\n")
+	if got := m.Transit(2000, 0, 5, 64); got != want {
+		t.Fatalf("post-window transit arrives at %d, want %d", got, want)
+	}
+	if inj.Stats.MeshReroutes != 0 {
+		t.Fatalf("stats %+v", inj.Stats)
+	}
+}
+
+// The stall also flows through the stage-building path used by the
+// machine layer's swap pipelines.
+func TestFlapStallInPathStages(t *testing.T) {
+	m, _ := flappedMesh(t,
+		"mesh flap node=0 dir=east from=0 until=1000\nmesh flap node=0 dir=north from=0 until=1000\n")
+	stages := m.AppendPathStages(nil, 0, 5, 64)
+	if stages[0].Forward != m.hopLat+1000 {
+		t.Fatalf("first stage forward %d, want hop latency %d + 1000 stall",
+			stages[0].Forward, m.hopLat)
+	}
+	_, arrive := sim.Pipeline(0, stages)
+	clean, _ := flappedMesh(t, "")
+	_, base := sim.Pipeline(0, clean.AppendPathStages(nil, 0, 5, 64))
+	if arrive != base+1000 {
+		t.Fatalf("stalled pipeline arrives at %d, clean at %d", arrive, base)
+	}
+}

@@ -19,6 +19,7 @@ package mesh
 import (
 	"fmt"
 
+	"nwcache/internal/fault"
 	"nwcache/internal/obs"
 	"nwcache/internal/param"
 	"nwcache/internal/sim"
@@ -61,6 +62,14 @@ type Mesh struct {
 	// message waited for its injection port beyond its earliest start —
 	// the mesh's contention histogram. Nil (one dead branch) otherwise.
 	hWait *obs.Histogram
+
+	// Fault injection. flt is nil for a perfect network; the route
+	// metadata below is built only when the plan contains link flaps, so
+	// the flap-free fast path stays allocation-free and branch-cheap.
+	flt      *fault.Injector
+	pathHops [][]int32         // per (src,dst): XY link ids (node*numDirs+dir)
+	yxPaths  [][]*sim.Resource // per (src,dst): YX fallback resource path
+	yxHops   [][]int32         // per (src,dst): YX link ids
 }
 
 // New builds the mesh from the configuration.
@@ -124,6 +133,107 @@ func New(e *sim.Engine, cfg param.Config) *Mesh {
 
 // Nodes returns the node count.
 func (m *Mesh) Nodes() int { return m.w * m.h }
+
+// SetFaults attaches a fault injector. When the plan contains mesh link
+// flaps, the per-path link metadata and the YX-routed fallback paths are
+// built so Transit/AppendPathStages can detour (or stall) around down
+// links; without flaps the precomputed XY fast path is untouched.
+func (m *Mesh) SetFaults(inj *fault.Injector) {
+	m.flt = inj
+	if inj.HasFlaps() && m.pathHops == nil {
+		m.buildFaultRoutes()
+	}
+}
+
+// buildFaultRoutes precomputes, for every (src, dst) pair, the XY path's
+// link identities and the dimension-swapped YX fallback path. Built once,
+// only when a plan with link flaps is attached.
+func (m *Mesh) buildFaultRoutes() {
+	n := m.Nodes()
+	m.pathHops = make([][]int32, n*n)
+	m.yxPaths = make([][]*sim.Resource, n*n)
+	m.yxHops = make([][]int32, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			i := src*n + dst
+			xy := m.Route(src, dst)
+			hops := make([]int32, len(xy))
+			for k, h := range xy {
+				hops[k] = int32(h)
+			}
+			m.pathHops[i] = hops
+			yx := m.routeYX(src, dst)
+			m.yxHops[i] = make([]int32, len(yx))
+			path := make([]*sim.Resource, 0, len(yx)+2)
+			path = append(path, m.inject[src])
+			for k, h := range yx {
+				m.yxHops[i][k] = int32(h)
+				path = append(path, m.links[h/int(numDirs)][Dir(h%int(numDirs))])
+			}
+			m.yxPaths[i] = append(path, m.eject[dst])
+		}
+	}
+}
+
+// routeYX returns the dimension-swapped (Y first, then X) route — the
+// deterministic fallback when a link on the XY route is flapped.
+func (m *Mesh) routeYX(src, dst int) []int {
+	var hops []int
+	cur := src
+	cx, cy := cur%m.w, cur/m.w
+	dx, dy := dst%m.w, dst/m.w
+	for cy != dy {
+		if cy < dy {
+			hops = append(hops, cur*int(numDirs)+int(North))
+			cy++
+		} else {
+			hops = append(hops, cur*int(numDirs)+int(South))
+			cy--
+		}
+		cur = cy*m.w + cx
+	}
+	for cx != dx {
+		if cx < dx {
+			hops = append(hops, cur*int(numDirs)+int(East))
+			cx++
+		} else {
+			hops = append(hops, cur*int(numDirs)+int(West))
+			cx--
+		}
+		cur = cy*m.w + cx
+	}
+	return hops
+}
+
+// downUntil returns the latest flap-window end covering any link of the
+// hop list at time `at`, or 0 when the whole path is up.
+func (m *Mesh) downUntil(hops []int32, at sim.Time) sim.Time {
+	var worst sim.Time
+	for _, h := range hops {
+		if u := m.flt.LinkDownUntil(int(h)/int(numDirs), int(h)%int(numDirs), at); u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// faultyPath picks the resource path for a message departing around time
+// `at` under link flaps: the XY route if it is up, the YX detour if only
+// XY is cut (counted as a reroute), or the XY route with a stall until
+// its flap window closes when both are cut.
+func (m *Mesh) faultyPath(src, dst int, at sim.Time) (path []*sim.Resource, stall sim.Time) {
+	i := src*m.Nodes() + dst
+	untilXY := m.downUntil(m.pathHops[i], at)
+	if untilXY == 0 {
+		return m.paths[i], 0
+	}
+	if m.downUntil(m.yxHops[i], at) == 0 {
+		m.flt.NoteReroute()
+		return m.yxPaths[i], 0
+	}
+	m.flt.NoteStall()
+	return m.paths[i], untilXY - at
+}
 
 // Route returns the XY route from src to dst as a sequence of (node, dir)
 // hops. An empty route means src == dst. Route allocates; the hot paths use
@@ -191,8 +301,19 @@ func (m *Mesh) path(src, dst int) []*sim.Resource {
 // running sim.Pipeline.
 func (m *Mesh) AppendPathStages(buf []sim.Stage, src, dst, bytes int) []sim.Stage {
 	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
-	for _, res := range m.path(src, dst) {
+	path := m.path(src, dst)
+	var stall sim.Time
+	if m.flt.HasFlaps() {
+		path, stall = m.faultyPath(src, dst, m.e.Now())
+	}
+	lo := len(buf)
+	for _, res := range path {
 		buf = append(buf, sim.Stage{Res: res, Occupy: occupy, Forward: m.hopLat})
+	}
+	if stall > 0 {
+		// Both routes cut: the message sits at the source NI until the XY
+		// flap window closes before entering the first link.
+		buf[lo].Forward += stall
 	}
 	return buf
 }
@@ -212,6 +333,11 @@ func (m *Mesh) PathStages(src, dst, bytes int) []sim.Stage {
 func (m *Mesh) Transit(earliest sim.Time, src, dst, bytes int) (arrive sim.Time) {
 	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
 	path := m.path(src, dst)
+	if m.flt.HasFlaps() {
+		var stall sim.Time
+		path, stall = m.faultyPath(src, dst, earliest)
+		earliest += stall
+	}
 	start := path[0].Reserve(earliest, occupy)
 	arrive = start + occupy
 	prevStart := start

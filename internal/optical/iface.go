@@ -1,6 +1,7 @@
 package optical
 
 import (
+	"nwcache/internal/fault"
 	"nwcache/internal/obs"
 	"nwcache/internal/sim"
 )
@@ -97,6 +98,9 @@ type Iface struct {
 	// "ring.drain" span on tr's track.
 	tr    *obs.Trace
 	track int
+
+	// Fault injection (nil = perfect fiber): per-drain corruption checks.
+	flt *fault.Injector
 }
 
 // DrainPolicy selects the next channel to drain.
@@ -119,7 +123,7 @@ func NewIface(e *sim.Engine, ring *Ring, node int) *Iface {
 		ring:  ring,
 		node:  node,
 		fifos: make([]chanFIFO, ring.Channels()),
-		kick:  sim.NewCond(e),
+		kick:  sim.NewCond(e).Named("nwc-iface.kick"),
 	}
 	e.SpawnDaemon("nwc-iface", f.drainLoop)
 	return f
@@ -161,6 +165,9 @@ func (f *Iface) Observe(sc *obs.Scope) {
 func (f *Iface) SetTrace(tr *obs.Trace, track int) {
 	f.tr, f.track = tr, track
 }
+
+// SetFaults attaches a fault injector (nil restores perfect fiber).
+func (f *Iface) SetFaults(inj *fault.Injector) { f.flt = inj }
 
 // PendingOn returns the FIFO depth for a channel.
 func (f *Iface) PendingOn(ch int) int { return f.fifos[ch].len() }
@@ -230,6 +237,12 @@ func (f *Iface) drainLoop(p *sim.Proc) {
 			// the NWCache interface, so the copy bypasses the node's
 			// memory and I/O buses entirely.
 			f.ring.Snoop(p, en, f.node)
+			// Injected fiber corruption detected at extraction: the page
+			// still circulates (a delay line has no partial reads), so the
+			// "retransmit from the home node" costs exactly one more pass.
+			for f.flt.DrainCorrupted() {
+				f.ring.Snoop(p, en, f.node)
+			}
 			if !f.DiskInstall(p, en.Page) {
 				// Lost the slot race; put the notice back and retry.
 				en.State = OnRing

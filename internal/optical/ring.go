@@ -44,6 +44,10 @@ type Entry struct {
 	Channel    int // owning channel == swapping node id
 	InsertedAt sim.Time
 	State      EntryState
+	// Voided marks an entry destroyed by an injected I/O-node crash (the
+	// fiber copy is gone without an ACK). The machine layer's recovery
+	// policy decides whether that is data loss or triggers a mesh resend.
+	Voided bool
 }
 
 // Channel is one WDM cache channel: the write path of a single node.
@@ -55,6 +59,11 @@ type Channel struct {
 
 // Used returns the number of occupied page slots.
 func (c *Channel) Used() int { return len(c.entries) }
+
+// Entries returns the live entries in insertion order. The slice is the
+// channel's own storage: callers that mutate the channel while iterating
+// (e.g. crash voiding) must copy it first.
+func (c *Channel) Entries() []*Entry { return c.entries }
 
 // HasRoom reports whether another page fits.
 func (c *Channel) HasRoom() bool { return len(c.entries) < c.slots }

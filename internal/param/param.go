@@ -101,6 +101,13 @@ type Config struct {
 	// Operating system.
 	SwapQueueDepth int // max concurrent outstanding swap-outs per node
 
+	// Fault-injection firmware defaults: how often the disk controller
+	// retries a transiently failing media access before giving up, and the
+	// initial retry backoff in pcycles (doubled per attempt). Used when a
+	// fault-plan directive omits retries=/backoff=; inert without a plan.
+	FaultRetries int
+	FaultBackoff int64
+
 	// File system.
 	StripeGroup int // pages per striping group (32)
 
@@ -153,6 +160,9 @@ func Default() Config {
 		SyscallOverhead: 1500,
 
 		SwapQueueDepth: 4,
+
+		FaultRetries: 5,
+		FaultBackoff: 2000,
 
 		StripeGroup: 32,
 
@@ -214,6 +224,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("param: seek range [%d,%d] invalid", c.MinSeek, c.MaxSeek)
 	case c.StripeGroup < 1:
 		return fmt.Errorf("param: StripeGroup=%d must be >= 1", c.StripeGroup)
+	case c.FaultRetries < 0 || c.FaultBackoff < 0:
+		return fmt.Errorf("param: fault retry policy (retries=%d backoff=%d) must be non-negative",
+			c.FaultRetries, c.FaultBackoff)
 	case c.Scale <= 0:
 		return fmt.Errorf("param: Scale=%f must be positive", c.Scale)
 	}

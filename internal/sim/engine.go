@@ -25,6 +25,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"nwcache/internal/obs"
 )
@@ -69,6 +70,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	stopped bool
+	limit   uint64 // event budget for livelock detection, 0 = unlimited
+	tripped bool   // limit was hit during the current Run
 
 	heap      []*event // 4-ary min-heap of future events, ordered by (t, seq)
 	ready     []*event // FIFO of events scheduled for the current instant
@@ -282,6 +285,12 @@ func (e *Engine) drive(owner *Proc) int {
 		e.now = ev.t
 		e.pending--
 		e.dispatched++
+		if e.limit != 0 && e.dispatched >= e.limit && !e.tripped {
+			// Livelock guard: the event budget is exhausted. Finish this
+			// event, then stop; Run turns the trip into a LivelockError.
+			e.tripped = true
+			e.stopped = true
+		}
 		// Recycle before acting: an event firing right now can schedule
 		// into (and a canceled handle can never reach) this slot's next
 		// life.
@@ -361,48 +370,162 @@ func (e *Engine) Observe(sc *obs.Scope) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetEventLimit arms the livelock guard: if a single Run dispatches n or
+// more events, it aborts with a *LivelockError instead of spinning
+// forever. 0 (the default) disables the guard. The budget counts against
+// the engine's lifetime Dispatched() total, so set it relative to the
+// current count when re-running an engine.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// BlockedProc is one process stuck on a synchronization primitive in a
+// DeadlockError or LivelockError diagnostic dump.
+type BlockedProc struct {
+	Name  string // process name
+	On    string // what it is blocked on (primitive label)
+	Since Time   // when it parked
+}
+
+func (b BlockedProc) String() string {
+	return fmt.Sprintf("%s blocked on %s since t=%d", b.Name, b.On, b.Since)
+}
+
 // DeadlockError reports processes left parked with no pending events: they
 // can never run again.
 type DeadlockError struct {
-	Now   Time
-	Procs []string // names of parked, non-daemon processes
+	Now           Time
+	Procs         []string      // names of parked, non-daemon processes
+	Blocked       []BlockedProc // structured dump of the same processes
+	DaemonsParked int           // parked daemons (normal at shutdown)
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%d: %d process(es) parked forever: %v",
-		d.Now, len(d.Procs), d.Procs)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sim: deadlock at t=%d: %d process(es) parked forever",
+		d.Now, len(d.Procs))
+	for _, b := range d.Blocked {
+		fmt.Fprintf(&sb, "\n  %s", b)
+	}
+	if len(d.Blocked) == 0 {
+		fmt.Fprintf(&sb, ": %v", d.Procs)
+	}
+	if d.DaemonsParked > 0 {
+		fmt.Fprintf(&sb, "\n  (+%d parked daemon(s), normal at shutdown)", d.DaemonsParked)
+	}
+	return sb.String()
+}
+
+// LivelockError reports a Run aborted by the SetEventLimit guard: the
+// event graph kept scheduling work without ever draining.
+type LivelockError struct {
+	Now        Time
+	Dispatched uint64        // lifetime events fired when the guard tripped
+	Blocked    []BlockedProc // processes parked at the moment of the trip
+}
+
+func (l *LivelockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sim: livelock guard tripped at t=%d after %d events", l.Now, l.Dispatched)
+	for _, b := range l.Blocked {
+		fmt.Fprintf(&sb, "\n  %s", b)
+	}
+	return sb.String()
+}
+
+// blockedProcs snapshots the parked list: a name-sorted structured dump of
+// the non-daemon processes plus a count of parked daemons.
+func (e *Engine) blockedProcs() (blocked []BlockedProc, daemons int) {
+	for _, p := range e.parkedList {
+		if p.daemon {
+			daemons++
+			continue
+		}
+		blocked = append(blocked, BlockedProc{Name: p.name, On: p.waitOn, Since: p.parkedAt})
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].Name < blocked[j].Name })
+	return blocked, daemons
 }
 
 // Run executes events in order until the queues drain or Stop is called.
 // If they drain while non-daemon processes are parked on synchronization
 // primitives, Run kills all parked processes and returns a *DeadlockError
-// naming the non-daemon ones. Daemon processes parked at drain time are
-// considered normal and are killed silently.
+// naming the non-daemon ones (with a structured blocked-proc dump). Daemon
+// processes parked at drain time are considered normal and are killed
+// silently. If an event limit is armed (SetEventLimit) and the budget is
+// exhausted, Run discards the remaining events, kills every process, and
+// returns a *LivelockError.
 func (e *Engine) Run() error {
 	e.stopped = false
+	e.tripped = false
 	if e.drive(nil) == driveHanded {
 		// A proc holds the driver token; procs keep dispatching among
 		// themselves and hand the token back when the queues drain (or
 		// Stop is seen).
 		<-e.main
 	}
+	if e.tripped {
+		blocked, _ := e.blockedProcs()
+		lerr := &LivelockError{Now: e.now, Dispatched: e.dispatched, Blocked: blocked}
+		// Teardown: drop the still-growing event storm (re-parking procs
+		// whose wakes are discarded), then unwind everything without a
+		// budget — KillParked must be able to finish.
+		e.limit = 0
+		e.tripped = false
+		e.clearPending()
+		e.KillParked()
+		return lerr
+	}
 	if e.stopped {
 		// Halted explicitly: leave remaining events and parked processes in
 		// place so the caller can resume with another Run.
 		return nil
 	}
-	var stuck []string
-	for _, p := range e.parkedList {
-		if !p.daemon {
-			stuck = append(stuck, p.name)
-		}
-	}
+	blocked, daemons := e.blockedProcs()
 	e.KillParked()
-	if len(stuck) > 0 {
-		sort.Strings(stuck)
-		return &DeadlockError{Now: e.now, Procs: stuck}
+	if len(blocked) > 0 {
+		stuck := make([]string, len(blocked))
+		for i, b := range blocked {
+			stuck[i] = b.Name
+		}
+		return &DeadlockError{Now: e.now, Procs: stuck, Blocked: blocked, DaemonsParked: daemons}
 	}
 	return nil
+}
+
+// clearPending discards every event still queued. A process whose wake or
+// start event is discarded is re-registered as parked so KillParked can
+// unwind its goroutine; without that, it would block forever on a
+// hand-over that never comes.
+func (e *Engine) clearPending() {
+	drop := func(ev *event) {
+		if !ev.canceled {
+			e.pending--
+			if ev.p != nil {
+				if ev.kind == evStart {
+					// Never started: the goroutine is waiting on its first
+					// hand-over, before the kill protocol's unwind path
+					// exists. Flag it so it exits instead of running its
+					// body (see spawn).
+					ev.p.killed = true
+				}
+				ev.p.waitOn = "discarded event"
+				ev.p.parkedAt = e.now
+				e.addParked(ev.p)
+			}
+		}
+		e.release(ev)
+	}
+	for e.readyHead < len(e.ready) {
+		drop(e.ready[e.readyHead])
+		e.ready[e.readyHead] = nil
+		e.readyHead++
+	}
+	e.ready = e.ready[:0]
+	e.readyHead = 0
+	for i, ev := range e.heap {
+		drop(ev)
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:0]
 }
 
 // addParked records p as parked (blocked with no wake-up event pending).

@@ -16,7 +16,9 @@ type Proc struct {
 	daemon    bool
 	cont      chan struct{} // engine -> proc: "you have control"
 	killed    bool
-	parkedIdx int // index in Engine.parkedList, -1 when not parked
+	parkedIdx int    // index in Engine.parkedList, -1 when not parked
+	waitOn    string // label of the primitive currently parked on
+	parkedAt  Time   // when the current park began
 }
 
 // Spawn starts fn as a new process at the current simulation time. The
@@ -39,6 +41,14 @@ func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 		cont: make(chan struct{}, 1), parkedIdx: -1}
 	go func() {
 		<-p.cont // wait for the start event to hand over control
+		if p.killed {
+			// Start event discarded (livelock teardown) before the body
+			// ever ran: unwind directly. live was never incremented, and
+			// the kill protocol's defer does not exist yet.
+			e.current = nil
+			e.back <- struct{}{}
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(procKilled); ok {
@@ -116,8 +126,11 @@ func (p *Proc) SleepUntil(t Time) {
 }
 
 // park blocks the process with no wake-up event scheduled; some other actor
-// must call unpark. Used by the synchronization primitives.
-func (p *Proc) park() {
+// must call unpark. Used by the synchronization primitives; `on` labels the
+// primitive for the blocked-proc dump of DeadlockError/LivelockError.
+func (p *Proc) park(on string) {
+	p.waitOn = on
+	p.parkedAt = p.e.now
 	p.e.addParked(p)
 	p.yield()
 }

@@ -47,7 +47,7 @@ func (s *Server) Acquire(p *Proc, pri Priority) {
 	t0 := p.Now()
 	if s.busy {
 		s.queues[pri].push(p)
-		p.park()
+		p.park(s.name)
 	}
 	s.busy = true
 	s.holder = p

@@ -32,16 +32,24 @@ func (q *procFIFO) len() int { return len(q.s) - q.head }
 // of the guarded predicate and the call to Wait cannot race.
 type Cond struct {
 	e       *Engine
+	name    string
 	waiting procFIFO
 }
 
 // NewCond returns an empty condition queue.
-func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+func NewCond(e *Engine) *Cond { return &Cond{e: e, name: "cond"} }
+
+// Named labels the queue for blocked-proc dumps and returns it (chainable
+// after NewCond).
+func (c *Cond) Named(name string) *Cond {
+	c.name = name
+	return c
+}
 
 // Wait parks p until a Signal/Broadcast wakes it. Wakeups are FIFO.
 func (c *Cond) Wait(p *Proc) {
 	c.waiting.push(p)
-	p.park()
+	p.park(c.name)
 }
 
 // Signal wakes the longest-waiting process, if any. Returns true if a
@@ -77,7 +85,13 @@ type Semaphore struct {
 
 // NewSemaphore returns a semaphore with n initial permits.
 func NewSemaphore(e *Engine, n int) *Semaphore {
-	return &Semaphore{n: n, cond: NewCond(e)}
+	return &Semaphore{n: n, cond: NewCond(e).Named("sem")}
+}
+
+// Named labels the semaphore for blocked-proc dumps; chainable.
+func (s *Semaphore) Named(name string) *Semaphore {
+	s.cond.Named(name)
+	return s
 }
 
 // Acquire takes one permit, parking p until one is available.
@@ -111,7 +125,13 @@ func (s *Semaphore) Available() int { return s.n }
 type Mutex struct{ s *Semaphore }
 
 // NewMutex returns an unlocked mutex.
-func NewMutex(e *Engine) *Mutex { return &Mutex{s: NewSemaphore(e, 1)} }
+func NewMutex(e *Engine) *Mutex { return &Mutex{s: NewSemaphore(e, 1).Named("mutex")} }
+
+// Named labels the mutex for blocked-proc dumps; chainable.
+func (m *Mutex) Named(name string) *Mutex {
+	m.s.Named(name)
+	return m
+}
 
 // Lock acquires the mutex, parking p until it is free.
 func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p) }
@@ -132,7 +152,7 @@ func NewBarrier(e *Engine, n int) *Barrier {
 	if n < 1 {
 		panic("sim: barrier size must be >= 1")
 	}
-	return &Barrier{n: n, cond: NewCond(e)}
+	return &Barrier{n: n, cond: NewCond(e).Named("barrier")}
 }
 
 // Arrive enters the barrier; the last arrival releases everyone.
@@ -160,7 +180,7 @@ type Queue[T any] struct {
 }
 
 // NewQueue returns an empty mailbox.
-func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e).Named("queue")} }
 
 // Push appends an item and wakes one waiting consumer.
 func (q *Queue[T]) Push(v T) {

@@ -89,8 +89,8 @@ func NewFramePool(e *sim.Engine, node, frames, minFree int) *FramePool {
 		nodes:      make([]frameNode, frames),
 		head:       -1,
 		tail:       -1,
-		FrameFreed: sim.NewCond(e),
-		Pressure:   sim.NewCond(e),
+		FrameFreed: sim.NewCond(e).Named("vm.frameFreed"),
+		Pressure:   sim.NewCond(e).Named("vm.pressure"),
 	}
 	// Thread all slots onto the free-slot stack.
 	f.fslots = -1

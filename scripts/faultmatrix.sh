@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Fault-matrix smoke: run the escalating reliability sweep end-to-end and
+# the fault/exp tests under the race detector. The sweep itself enforces
+# the conservative policy's zero-loss invariant (exp.ReliabilityMatrix
+# returns an error if a conservative run loses a page), so a plain
+# successful exit is the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== reliability matrix (fft, full scale) =="
+go run ./cmd/nwbench -reliability fft -q
+
+echo "== race: fault + exp =="
+go test -race ./internal/fault ./internal/exp/...
