@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,12 +32,14 @@ import (
 	"nwcache/internal/stats"
 )
 
-// obsRun is the observation of one executed simulation: its registry and
-// (when tracing) its span trace, labeled by the cell.
+// obsRun is the observation of one executed simulation: its registry,
+// (when tracing) its span trace, and (when sampling) its time-series
+// sampler, labeled by the cell.
 type obsRun struct {
 	label string
 	reg   *obs.Registry
 	tr    *obs.Trace
+	smp   *obs.Sampler
 }
 
 func main() {
@@ -52,6 +55,10 @@ func main() {
 		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON (one process per simulation) to this file")
 		manifestOut = flag.String("manifest-out", "", "write a run-manifest JSON (params, seed, merged metrics, stdout digest) to this file")
+		seriesOut   = flag.String("series-out", "", "write per-simulation time-series telemetry to this file (NDJSON, or CSV with a .csv suffix)")
+		seriesIntv  = flag.Int64("series-interval", 500_000, "telemetry sampling interval in pcycles")
+		watch       = flag.Bool("watch", false, "render a live ANSI telemetry dashboard on stderr while simulations run")
+		httpAddr    = flag.String("http", "", "serve live telemetry over HTTP on this address (/metrics Prometheus text, /series NDJSON stream)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		reliability = flag.String("reliability", "", "run the fault-injection reliability matrix for this application instead of the tables")
@@ -98,18 +105,52 @@ func main() {
 		obsMu sync.Mutex
 		runs  []obsRun
 	)
-	if *traceOut != "" || *manifestOut != "" {
+	wantSeries := *seriesOut != "" || *watch || *httpAddr != ""
+	if wantSeries && *seriesIntv <= 0 {
+		fatal(fmt.Errorf("-series-interval must be positive, got %d", *seriesIntv))
+	}
+	var liveSet *obs.LiveSet
+	var watchStop, watchDone chan struct{}
+	if *watch || *httpAddr != "" {
+		liveSet = &obs.LiveSet{}
+		if *httpAddr != "" {
+			srv, err := obs.StartLiveServer(*httpAddr, liveSet)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "nwbench: live telemetry on http://%s (/metrics, /series)\n", srv.Addr())
+		}
+		if *watch {
+			w := &obs.Watcher{Set: liveSet, Out: os.Stderr}
+			watchStop = make(chan struct{})
+			watchDone = make(chan struct{})
+			go func() {
+				defer close(watchDone)
+				w.Run(watchStop)
+			}()
+		}
+	}
+	if *traceOut != "" || *manifestOut != "" || wantSeries {
 		wantTrace := *traceOut != ""
-		suite.Observe = func(c core.Cell, m *machine.Machine) {
+		intv := *seriesIntv
+		suite.AddObserver(func(c core.Cell, m *machine.Machine) {
 			r := obsRun{label: c.Label(), reg: obs.NewRegistry()}
 			if wantTrace {
 				r.tr = obs.NewTrace(0)
 			}
 			m.Observe(r.reg, r.tr)
+			if wantSeries {
+				r.smp = obs.NewSampler(r.reg, intv, 0)
+				m.StartSampler(r.smp)
+				if liveSet != nil {
+					liveSet.Add(r.smp.Publish(r.label))
+				}
+			}
 			obsMu.Lock()
 			runs = append(runs, r)
 			obsMu.Unlock()
-		}
+		})
 	}
 
 	start := time.Now()
@@ -127,9 +168,25 @@ func main() {
 		fatal(err)
 	}
 
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone
+	}
+
 	// Scheduling order is nondeterministic under -j; sort by label so
-	// trace process order and merged metrics are reproducible.
+	// trace process order, merged metrics, and series output are
+	// reproducible.
 	sort.Slice(runs, func(i, j int) bool { return runs[i].label < runs[j].label })
+
+	if *seriesOut != "" {
+		var all []obs.SeriesData
+		for _, r := range runs {
+			all = append(all, r.smp.Export(r.label)...)
+		}
+		if err := writeSeries(*seriesOut, all); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *traceOut != "" {
 		named := make([]obs.NamedTrace, 0, len(runs))
@@ -252,6 +309,24 @@ func runSelections(suite *exp.Suite, out io.Writer, report, all bool, tableN, fi
 		fmt.Fprintln(out, chart)
 	}
 	return nil
+}
+
+// writeSeries writes sampled series to path — CSV when the name ends in
+// .csv, NDJSON otherwise.
+func writeSeries(path string, series []obs.SeriesData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = obs.WriteSeriesCSV(f, series)
+	} else {
+		err = obs.WriteSeriesNDJSON(f, series)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -1,0 +1,569 @@
+// Command nwreport turns observability artifacts — run manifests
+// (-manifest-out), time-series telemetry (-series-out), Chrome traces
+// (-trace-out) — into a single self-contained HTML report, and compares
+// two manifests for cross-run regressions.
+//
+// Usage:
+//
+//	nwreport -html report.html -manifest m.json [-manifest m2.json]
+//	         [-series s.ndjson]... [-trace t.json]...
+//	nwreport -diff old.json new.json [-threshold 5]
+//
+// Report mode renders a manifest summary table, a metric delta table
+// when exactly two manifests are given, per-run metric sparklines from
+// every series file, and per-phase span rollups from every trace file.
+// The output embeds everything (inline CSS + SVG); no network, no JS.
+//
+// Diff mode compares two manifests metric by metric and exits 1 when
+// any metric moved by more than -threshold percent (or is missing from
+// one side). With -threshold 0 the stdout digests must also match
+// byte-for-byte, which makes it a determinism check between runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nwcache/internal/obs"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		manifests multiFlag
+		seriesFs  multiFlag
+		traceFs   multiFlag
+		htmlOut   = flag.String("html", "", "write the HTML report to this file")
+		diffMode  = flag.Bool("diff", false, "compare two manifests: nwreport -diff old.json new.json [-threshold P]")
+		threshold = flag.Float64("threshold", 5.0, "diff mode: max allowed per-metric change in percent (0 = exact, including the stdout digest)")
+	)
+	flag.Var(&manifests, "manifest", "run manifest JSON file (repeatable)")
+	flag.Var(&seriesFs, "series", "time-series NDJSON file from -series-out (repeatable)")
+	flag.Var(&traceFs, "trace", "Chrome trace JSON file from -trace-out (repeatable)")
+	flag.Parse()
+
+	if *diffMode {
+		oldPath, newPath, thr, err := diffArgs(flag.Args(), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		oldMan, err := loadManifest(oldPath)
+		if err != nil {
+			fatal(err)
+		}
+		newMan, err := loadManifest(newPath)
+		if err != nil {
+			fatal(err)
+		}
+		lines := diffManifests(oldMan, newMan, thr)
+		regressions := 0
+		for _, l := range lines {
+			if l.regressed {
+				regressions++
+				fmt.Printf("REGRESSION %-40s %-8s old=%s new=%s (%+.2f%%)\n",
+					l.name, l.field, fmtNum(l.old), fmtNum(l.new), l.pct)
+			}
+		}
+		fmt.Printf("nwreport: %d regression(s) above %.2f%% across %d comparison(s): %s vs %s\n",
+			regressions, thr, len(lines), oldPath, newPath)
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *htmlOut == "" {
+		fatal(fmt.Errorf("nothing to do: pass -html FILE (report mode) or -diff old new"))
+	}
+	if len(manifests) == 0 && len(seriesFs) == 0 && len(traceFs) == 0 {
+		fatal(fmt.Errorf("report mode needs at least one -manifest, -series, or -trace input"))
+	}
+
+	var mans []*obs.Manifest
+	var manNames []string
+	for _, p := range manifests {
+		m, err := loadManifest(p)
+		if err != nil {
+			fatal(err)
+		}
+		mans = append(mans, m)
+		manNames = append(manNames, p)
+	}
+	var series []obs.SeriesData
+	for _, p := range seriesFs {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		sd, err := obs.ReadSeriesNDJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		series = append(series, sd...)
+	}
+	type traceFile struct {
+		path string
+		runs []obs.NamedTrace
+	}
+	var traces []traceFile
+	for _, p := range traceFs {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		runs, err := obs.ReadChrome(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		traces = append(traces, traceFile{path: p, runs: runs})
+	}
+
+	out, err := os.Create(*htmlOut)
+	if err != nil {
+		fatal(err)
+	}
+	w := &errWriter{w: out}
+	writeHeader(w)
+	if len(mans) > 0 {
+		writeManifestTable(w, mans, manNames)
+	}
+	if len(mans) == 2 {
+		writeDeltaTable(w, mans, manNames)
+	}
+	if len(series) > 0 {
+		writeSeriesSection(w, series)
+	}
+	for _, tf := range traces {
+		writeTraceSection(w, tf.path, tf.runs)
+	}
+	fmt.Fprintln(w, "</body></html>")
+	if w.err != nil {
+		out.Close()
+		fatal(w.err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "nwreport: wrote %s (%d manifests, %d series, %d traces)\n",
+		*htmlOut, len(mans), len(series), len(traces))
+}
+
+// diffArgs extracts "old new [-threshold P]" from the arguments left
+// after flag parsing. The standard flag package stops at the first
+// positional, so a trailing -threshold (the documented syntax) arrives
+// here rather than in the parsed flag set.
+func diffArgs(args []string, threshold float64) (oldPath, newPath string, thr float64, err error) {
+	thr = threshold
+	var pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			if i+1 >= len(args) {
+				return "", "", 0, fmt.Errorf("-threshold needs a value")
+			}
+			i++
+			thr, err = strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return "", "", 0, fmt.Errorf("bad -threshold %q: %v", args[i], err)
+			}
+		case strings.HasPrefix(a, "-threshold=") || strings.HasPrefix(a, "--threshold="):
+			v := a[strings.Index(a, "=")+1:]
+			thr, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", "", 0, fmt.Errorf("bad -threshold %q: %v", v, err)
+			}
+		default:
+			pos = append(pos, a)
+		}
+	}
+	if len(pos) != 2 {
+		return "", "", 0, fmt.Errorf("diff mode needs exactly two manifests: nwreport -diff old.json new.json [-threshold P], got %d", len(pos))
+	}
+	if thr < 0 {
+		return "", "", 0, fmt.Errorf("-threshold must be >= 0, got %g", thr)
+	}
+	return pos[0], pos[1], thr, nil
+}
+
+// diffLine is one compared quantity between two manifests.
+type diffLine struct {
+	name, field string
+	old, new    float64
+	pct         float64
+	regressed   bool
+}
+
+// pctChange is the relative change in percent, guarded against a zero
+// baseline (a denominator floor of 1 keeps 0 -> N finite: N*100%).
+func pctChange(oldV, newV float64) float64 {
+	den := math.Abs(oldV)
+	if den < 1 {
+		den = 1
+	}
+	return (newV - oldV) / den * 100
+}
+
+// diffManifests compares every metric (field by field, per kind), the
+// simulated runtime, and — at threshold 0 — the stdout digest. Missing
+// or extra metrics always count as regressions: two runs of the same
+// workload must expose the same metric namespace.
+func diffManifests(oldMan, newMan *obs.Manifest, thr float64) []diffLine {
+	var lines []diffLine
+	add := func(name, field string, o, n float64) {
+		pct := pctChange(o, n)
+		lines = append(lines, diffLine{name: name, field: field, old: o, new: n,
+			pct: pct, regressed: math.Abs(pct) > thr})
+	}
+	newByName := make(map[string]obs.MetricValue, len(newMan.Metrics))
+	for _, mv := range newMan.Metrics {
+		newByName[mv.Name] = mv
+	}
+	for _, o := range oldMan.Metrics {
+		n, ok := newByName[o.Name]
+		if !ok {
+			lines = append(lines, diffLine{name: o.Name, field: "missing",
+				old: float64(o.Value), new: math.NaN(), regressed: true})
+			continue
+		}
+		delete(newByName, o.Name)
+		switch o.Kind {
+		case "histogram":
+			add(o.Name, "count", float64(o.Count), float64(n.Count))
+			add(o.Name, "sum", float64(o.Sum), float64(n.Sum))
+		case "timegauge":
+			add(o.Name, "integral", float64(o.Integral), float64(n.Integral))
+			add(o.Name, "span", float64(o.Span), float64(n.Span))
+			add(o.Name, "peak", float64(o.Peak), float64(n.Peak))
+		case "gauge":
+			add(o.Name, "value", float64(o.Value), float64(n.Value))
+			add(o.Name, "peak", float64(o.Peak), float64(n.Peak))
+		default: // counter, probe-*
+			add(o.Name, "value", float64(o.Value), float64(n.Value))
+		}
+	}
+	extra := make([]string, 0, len(newByName))
+	for name := range newByName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		lines = append(lines, diffLine{name: name, field: "extra",
+			old: math.NaN(), new: float64(newByName[name].Value), regressed: true})
+	}
+	if oldMan.SimPcycles != 0 || newMan.SimPcycles != 0 {
+		add("sim_pcycles", "total", float64(oldMan.SimPcycles), float64(newMan.SimPcycles))
+	}
+	// The digest pins exact output bytes; any drift flips it, so it only
+	// gates the exact-match mode.
+	if thr == 0 && oldMan.Digest != "" && newMan.Digest != "" {
+		lines = append(lines, diffLine{name: "digest", field: "sha256",
+			regressed: oldMan.Digest != newMan.Digest})
+	}
+	return lines
+}
+
+func loadManifest(path string) (*obs.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := obs.ReadManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// fmtNum renders a diff quantity compactly (integers without decimals).
+func fmtNum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// errWriter latches the first write error so the HTML emitters can stay
+// unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	var n int
+	n, e.err = e.w.Write(p)
+	if e.err != nil {
+		return len(p), nil
+	}
+	return n, nil
+}
+
+func writeHeader(w io.Writer) {
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>nwcache run report</title>
+<style>
+body{font:14px/1.45 -apple-system,"Segoe UI",sans-serif;margin:2em auto;max-width:72em;padding:0 1em;color:#1a202c}
+h1{font-size:1.5em}h2{font-size:1.15em;margin-top:2em;border-bottom:1px solid #e2e8f0;padding-bottom:.25em}
+h3{font-size:1em;margin:1.2em 0 .4em}
+table{border-collapse:collapse;margin:.6em 0}
+th,td{border:1px solid #e2e8f0;padding:.25em .6em;text-align:right;font-variant-numeric:tabular-nums}
+th{background:#f7fafc;text-align:center}
+td:first-child,th:first-child{text-align:left;font-family:ui-monospace,monospace;font-size:.92em}
+.up{color:#c53030}.down{color:#2f855a}.muted{color:#718096}
+.spark{vertical-align:middle}
+code{font-family:ui-monospace,monospace;font-size:.92em;background:#f7fafc;padding:0 .25em}
+</style></head><body>
+<h1>nwcache run report</h1>
+`)
+}
+
+func writeManifestTable(w io.Writer, mans []*obs.Manifest, names []string) {
+	fmt.Fprintln(w, "<h2>Runs</h2><table><tr><th>manifest</th><th>tool</th><th>workload</th><th>seed</th><th>runs</th><th>sim Mpcycles</th><th>wall ms</th><th>metrics</th><th>spans</th><th>digest</th></tr>")
+	for i, m := range mans {
+		workload := m.App
+		if m.Machine != "" {
+			workload += "/" + m.Machine
+		}
+		if m.Prefetch != "" {
+			workload += "/" + m.Prefetch
+		}
+		if workload == "" {
+			workload = "-"
+		}
+		runs := m.Runs
+		if runs == 0 {
+			runs = 1
+		}
+		digest := m.Digest
+		if len(digest) > 23 {
+			digest = digest[:23] + "…"
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.1f</td><td>%d</td><td>%d</td><td><code>%s</code></td></tr>\n",
+			html.EscapeString(names[i]), html.EscapeString(m.Tool), html.EscapeString(workload),
+			m.Seed, runs, float64(m.SimPcycles)/1e6, float64(m.WallNS)/1e6,
+			len(m.Metrics), m.TraceSpans, html.EscapeString(digest))
+	}
+	fmt.Fprintln(w, "</table>")
+}
+
+// writeDeltaTable renders the cross-run metric deltas for a manifest
+// pair (e.g. standard vs nwcache, or baseline vs candidate), largest
+// relative movement first.
+func writeDeltaTable(w io.Writer, mans []*obs.Manifest, names []string) {
+	lines := diffManifests(mans[0], mans[1], 0)
+	kept := lines[:0]
+	for _, l := range lines {
+		if l.field == "sha256" || (l.old == 0 && l.new == 0) {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := math.Abs(kept[i].pct), math.Abs(kept[j].pct)
+		if pi != pj {
+			return pi > pj
+		}
+		return kept[i].name < kept[j].name
+	})
+	const maxRows = 40
+	total := len(kept)
+	if len(kept) > maxRows {
+		kept = kept[:maxRows]
+	}
+	fmt.Fprintf(w, "<h2>Deltas: %s → %s</h2>\n", html.EscapeString(names[0]), html.EscapeString(names[1]))
+	fmt.Fprintln(w, "<table><tr><th>metric</th><th>field</th><th>old</th><th>new</th><th>Δ%</th></tr>")
+	for _, l := range kept {
+		cls := "muted"
+		if l.pct > 0.005 {
+			cls = "up"
+		} else if l.pct < -0.005 {
+			cls = "down"
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=%q>%+.2f</td></tr>\n",
+			html.EscapeString(l.name), l.field, fmtNum(l.old), fmtNum(l.new), cls, l.pct)
+	}
+	fmt.Fprintln(w, "</table>")
+	if total > maxRows {
+		fmt.Fprintf(w, "<p class=muted>showing the %d largest of %d deltas</p>\n", maxRows, total)
+	}
+}
+
+// sparkPoints is the sparkline resolution: series are downsampled to at
+// most this many points before rendering.
+const sparkPoints = 160
+
+// svgSpark renders points as an inline SVG polyline sparkline.
+func svgSpark(pts [][2]float64) string {
+	const W, H = 220.0, 30.0
+	if len(pts) == 0 {
+		return "<span class=muted>empty</span>"
+	}
+	x0, x1 := pts[0][0], pts[len(pts)-1][0]
+	lo, hi := pts[0][1], pts[0][1]
+	for _, p := range pts {
+		if p[1] < lo {
+			lo = p[1]
+		}
+		if p[1] > hi {
+			hi = p[1]
+		}
+	}
+	xs := x1 - x0
+	if xs <= 0 {
+		xs = 1
+	}
+	ys := hi - lo
+	if ys <= 0 {
+		ys = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg class=spark width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f"><polyline fill="none" stroke="#3182ce" stroke-width="1.2" points="`, W, H, W, H)
+	for i, p := range pts {
+		x := (p[0] - x0) / xs * (W - 2)
+		y := (H - 2) - (p[1]-lo)/ys*(H-4)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", x+1, y)
+	}
+	sb.WriteString(`"/></svg>`)
+	return sb.String()
+}
+
+func writeSeriesSection(w io.Writer, series []obs.SeriesData) {
+	byRun := make(map[string][]obs.SeriesData)
+	var runs []string
+	for _, s := range series {
+		if _, ok := byRun[s.Run]; !ok {
+			runs = append(runs, s.Run)
+		}
+		byRun[s.Run] = append(byRun[s.Run], s)
+	}
+	sort.Strings(runs)
+	fmt.Fprintln(w, "<h2>Time series</h2>")
+	for _, run := range runs {
+		title := run
+		if title == "" {
+			title = "(single run)"
+		}
+		fmt.Fprintf(w, "<h3>%s</h3>\n", html.EscapeString(title))
+		fmt.Fprintln(w, "<table><tr><th>metric</th><th>kind</th><th>points</th><th>last</th><th>min</th><th>max</th><th>trend</th></tr>")
+		group := byRun[run]
+		sort.Slice(group, func(i, j int) bool { return group[i].Name < group[j].Name })
+		for _, s := range group {
+			if len(s.Points) == 0 {
+				continue
+			}
+			factor := (len(s.Points) + sparkPoints - 1) / sparkPoints
+			ds := s.Downsample(factor)
+			lo, hi := s.Points[0][1], s.Points[0][1]
+			for _, p := range s.Points {
+				if p[1] < lo {
+					lo = p[1]
+				}
+				if p[1] > hi {
+					hi = p[1]
+				}
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(s.Name), s.Kind, len(s.Points),
+				fmtNum(s.Points[len(s.Points)-1][1]), fmtNum(lo), fmtNum(hi),
+				svgSpark(ds.Points))
+		}
+		fmt.Fprintln(w, "</table>")
+	}
+}
+
+// writeTraceSection rolls every run's spans up by phase name: count,
+// total/mean/max duration in pcycles, busiest phases first.
+func writeTraceSection(w io.Writer, path string, runs []obs.NamedTrace) {
+	fmt.Fprintf(w, "<h2>Trace phases: %s</h2>\n", html.EscapeString(path))
+	for _, nt := range runs {
+		type rollup struct {
+			name               string
+			count              int
+			total, maxDur      int64
+			firstSeen, lastEnd int64
+		}
+		agg := make(map[string]*rollup)
+		var names []string
+		for _, s := range nt.Trace.Spans() {
+			r, ok := agg[s.Name]
+			if !ok {
+				r = &rollup{name: s.Name, firstSeen: s.Start}
+				agg[s.Name] = r
+				names = append(names, s.Name)
+			}
+			d := s.End - s.Start
+			r.count++
+			r.total += d
+			if d > r.maxDur {
+				r.maxDur = d
+			}
+			if s.Start < r.firstSeen {
+				r.firstSeen = s.Start
+			}
+			if s.End > r.lastEnd {
+				r.lastEnd = s.End
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Slice(names, func(i, j int) bool {
+			ri, rj := agg[names[i]], agg[names[j]]
+			if ri.total != rj.total {
+				return ri.total > rj.total
+			}
+			return ri.name < rj.name
+		})
+		title := nt.Name
+		if title == "" {
+			title = "(unnamed process)"
+		}
+		fmt.Fprintf(w, "<h3>%s — %d spans</h3>\n", html.EscapeString(title), len(nt.Trace.Spans()))
+		fmt.Fprintln(w, "<table><tr><th>phase</th><th>count</th><th>total Kpcycles</th><th>mean</th><th>max</th><th>active window</th></tr>")
+		const maxRows = 20
+		shown := names
+		if len(shown) > maxRows {
+			shown = shown[:maxRows]
+		}
+		for _, name := range shown {
+			r := agg[name]
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%.0f</td><td>%d</td><td>%d–%d</td></tr>\n",
+				html.EscapeString(r.name), r.count, float64(r.total)/1e3,
+				float64(r.total)/float64(r.count), r.maxDur, r.firstSeen, r.lastEnd)
+		}
+		fmt.Fprintln(w, "</table>")
+		if len(names) > maxRows {
+			fmt.Fprintf(w, "<p class=muted>showing the %d busiest of %d phases</p>\n", maxRows, len(names))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwreport:", err)
+	os.Exit(2)
+}

@@ -43,6 +43,10 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
 		maniOut    = flag.String("manifest-out", "", "write a run manifest JSON (params, seed, metrics, output digest)")
 		metricsF   = flag.Bool("metrics", false, "print the metric snapshot after the run")
+		seriesOut  = flag.String("series-out", "", "write sampled time-series telemetry to this file (NDJSON, or CSV with a .csv suffix)")
+		seriesIntv = flag.Int64("series-interval", 500_000, "telemetry sampling interval in pcycles")
+		watch      = flag.Bool("watch", false, "render a live ANSI telemetry dashboard on stderr while the run executes")
+		httpAddr   = flag.String("http", "", "serve live telemetry over HTTP on this address (/metrics Prometheus text, /series NDJSON stream)")
 		faultPlan  = flag.String("fault-plan", "", "fault-plan spec file (see internal/fault); empty = no fault injection")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault injector's dedicated PRNG stream")
 		recovery   = flag.String("recovery", "", "recovery policy: aggressive (paper default) or conservative")
@@ -158,6 +162,9 @@ func main() {
 		if *traceOut != "" || *maniOut != "" || *metricsF {
 			fatal(fmt.Errorf("-trace-out/-manifest-out/-metrics require a single run (-seeds 1)"))
 		}
+		if *seriesOut != "" || *watch || *httpAddr != "" {
+			fatal(fmt.Errorf("-series-out/-watch/-http require a single run (-seeds 1)"))
+		}
 		if injector != nil {
 			fatal(fmt.Errorf("-fault-plan/-recovery require a single run (-seeds 1)"))
 		}
@@ -195,7 +202,8 @@ func main() {
 		dw  *obs.DigestWriter
 		out io.Writer = os.Stdout
 	)
-	if *maniOut != "" || *metricsF {
+	wantSeries := *seriesOut != "" || *watch || *httpAddr != ""
+	if *maniOut != "" || *metricsF || wantSeries {
 		reg = obs.NewRegistry()
 	}
 	if *traceOut != "" {
@@ -209,12 +217,58 @@ func main() {
 		m.Observe(reg, tr)
 	}
 
+	// Time-series telemetry: sample the registry at a fixed simulated-time
+	// interval. The sampler only reads state, so the run (and its stdout
+	// digest) stays byte-identical with telemetry on or off.
+	var sampler *obs.Sampler
+	var watchStop chan struct{}
+	var watchDone chan struct{}
+	if wantSeries {
+		if *seriesIntv <= 0 {
+			fatal(fmt.Errorf("-series-interval must be positive, got %d", *seriesIntv))
+		}
+		sampler = obs.NewSampler(reg, *seriesIntv, 0)
+		m.StartSampler(sampler)
+		if *watch || *httpAddr != "" {
+			label := fmt.Sprintf("%s/%s/%s", *app, kind, mode)
+			set := &obs.LiveSet{}
+			set.Add(sampler.Publish(label))
+			if *httpAddr != "" {
+				srv, err := obs.StartLiveServer(*httpAddr, set)
+				if err != nil {
+					fatal(err)
+				}
+				defer srv.Close()
+				fmt.Fprintf(os.Stderr, "nwsim: live telemetry on http://%s (/metrics, /series)\n", srv.Addr())
+			}
+			if *watch {
+				w := &obs.Watcher{Set: set, Out: os.Stderr}
+				watchStop = make(chan struct{})
+				watchDone = make(chan struct{})
+				go func() {
+					defer close(watchDone)
+					w.Run(watchStop)
+				}()
+			}
+		}
+	}
+
 	wall0 := time.Now()
 	res, err := m.Run(prog)
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(wall0)
+
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, sampler.Export(fmt.Sprintf("%s/%s/%s", *app, kind, mode))); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Fprintf(out, "scale=%.2f minfree=%d\n", cfg.Scale, cfg.MinFreeFrames)
 	fmt.Fprintln(out, res)
@@ -288,6 +342,24 @@ func printSnapshot(w io.Writer, snap obs.Snapshot) {
 			fmt.Fprintf(w, "  %-36s %d\n", mv.Name, mv.Value)
 		}
 	}
+}
+
+// writeSeries writes sampled series to path — CSV when the name ends in
+// .csv, NDJSON otherwise.
+func writeSeries(path string, series []obs.SeriesData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = obs.WriteSeriesCSV(f, series)
+	} else {
+		err = obs.WriteSeriesNDJSON(f, series)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -28,6 +28,7 @@ func main() {
 		prefetch = flag.String("prefetch", "optimal", "prefetch mode: naive, optimal, or streamed")
 		scale    = flag.Float64("scale", 1.0, "workload scale")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		mem      = flag.Int("mem", 0, "memory per node in bytes (0 = default; shrink to force paging)")
 		out      = flag.String("out", "", "write trace to this file")
 		format   = flag.String("format", "binary", "trace file format: binary or json")
 		summary  = flag.Bool("summary", true, "print trace analysis")
@@ -42,16 +43,11 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		events, err := trace.ReadBinary(f)
+		// Single pass: ReadAuto sniffs the binary magic instead of
+		// reading the whole file as binary and re-reading it as JSON.
+		events, err := trace.ReadAuto(f)
 		if err != nil {
-			// Fall back to JSON.
-			if _, serr := f.Seek(0, 0); serr != nil {
-				fatal(err)
-			}
-			events, err = trace.ReadJSON(f)
-			if err != nil {
-				fatal(err)
-			}
+			fatal(err)
 		}
 		fmt.Println(trace.Analyze(events))
 		return
@@ -60,6 +56,9 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	if *mem > 0 {
+		cfg.MemPerNode = *mem
+	}
 	var kind core.Kind
 	switch *machineF {
 	case "standard":

@@ -49,6 +49,27 @@ func NewSuiteOn(cfg core.Config, p *pool.Pool) *Suite {
 	return &Suite{cfg: cfg, sched: p}
 }
 
+// AddObserver appends fn to the suite's Observe hook, composing with any
+// observer already installed (earlier observers fire first). Several
+// independent consumers — manifest metrics, span tracing, time-series
+// samplers, live -watch views — can then each attach to every fresh
+// simulation without knowing about one another. Call before the first
+// submission, like Observe itself.
+func (s *Suite) AddObserver(fn func(core.Cell, *machine.Machine)) {
+	if fn == nil {
+		return
+	}
+	prev := s.Observe
+	if prev == nil {
+		s.Observe = fn
+		return
+	}
+	s.Observe = func(c core.Cell, m *machine.Machine) {
+		prev(c, m)
+		fn(c, m)
+	}
+}
+
 // pool returns the suite's scheduler, creating the default one on first
 // use.
 func (s *Suite) pool() *pool.Pool {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nwcache/internal/core"
+	"nwcache/internal/machine"
 )
 
 // fastSuite uses a shrunken workload so the whole matrix runs in seconds.
@@ -259,5 +260,48 @@ func TestPaperValuesCoverAllApps(t *testing.T) {
 				t.Fatalf("%s: missing/invalid paper value for %s", name, app)
 			}
 		}
+	}
+}
+
+// AddObserver composes with an existing Observe hook (earlier observers
+// first) and fires only for fresh simulations, never for cache hits.
+func TestAddObserverComposes(t *testing.T) {
+	s := fastSuite()
+	var order []string
+	s.Observe = func(c core.Cell, m *machine.Machine) {
+		order = append(order, "first:"+c.Label())
+	}
+	s.AddObserver(func(c core.Cell, m *machine.Machine) {
+		if m == nil {
+			t.Error("observer fired without a machine")
+		}
+		order = append(order, "second:"+c.Label())
+	})
+	s.AddObserver(nil) // must be ignored
+	if _, err := s.Get("sor", core.Standard, core.Naive); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || !strings.HasPrefix(order[0], "first:") || !strings.HasPrefix(order[1], "second:") {
+		t.Fatalf("observer order %v, want [first:... second:...]", order)
+	}
+	// Cache hit: neither observer fires again.
+	if _, err := s.Get("sor", core.Standard, core.Naive); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("observers fired on a cached run: %v", order)
+	}
+}
+
+// AddObserver on a suite with no prior hook installs the observer alone.
+func TestAddObserverWithoutBase(t *testing.T) {
+	s := fastSuite()
+	fired := 0
+	s.AddObserver(func(core.Cell, *machine.Machine) { fired++ })
+	if _, err := s.Get("sor", core.Standard, core.Naive); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("observer fired %d times, want 1", fired)
 	}
 }

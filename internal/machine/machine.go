@@ -138,6 +138,7 @@ type Machine struct {
 	hFaultDisk *obs.Histogram
 	hFaultRing *obs.Histogram
 	hSwap      *obs.Histogram
+	sampler    *obs.Sampler // time-series telemetry (StartSampler); nil = off
 
 	barrier *sim.Barrier
 	locks   []*sim.Mutex // application locks by id, grown on demand

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nwcache/internal/obs"
+	"nwcache/internal/sim"
 )
 
 // Span track layout: one lane per CPU (faults), one per node's swap-out
@@ -60,6 +61,23 @@ func (m *Machine) Observe(reg *obs.Registry, tr *obs.Trace) {
 	m.hSwap = root.Scope("swap").Histogram("pcycles")
 	m.flt.Observe(root.Scope("faultinj"))
 	m.observeAggregates(root.Scope("machine"))
+}
+
+// StartSampler arms time-series telemetry: s samples every registered
+// metric at its interval on the engine's clock-boundary tick hook
+// (sim.Engine.SetTick), and Run flushes one final sample at completion
+// time. Call after Observe (the sampler's columns are bound to the
+// registry populated there) and before Run. Nil-safe: a nil sampler
+// leaves the engine untouched, so disabled telemetry costs one
+// predictable branch per event dispatch and nothing else. The tick hook
+// only reads simulation state, so sampled and unsampled runs produce
+// byte-identical results.
+func (m *Machine) StartSampler(s *obs.Sampler) {
+	if s == nil {
+		return
+	}
+	m.sampler = s
+	m.E.SetTick(s.Interval(), func(now sim.Time) { s.Tick(now) })
 }
 
 // observeAggregates registers machine-wide sums of the per-node counters

@@ -80,6 +80,10 @@ func (m *Machine) Run(prog Program) (*Result, error) {
 	if err := m.E.Run(); err != nil {
 		return nil, fmt.Errorf("machine: %s on %s/%s: %w", prog.Name(), m.Kind, m.Mode, err)
 	}
+	// Flush the final telemetry sample at completion time, so a series
+	// always ends on the run's last state even when the execution time is
+	// not a tick multiple (Sampler.Tick ignores a repeated instant).
+	m.sampler.Tick(m.E.Now())
 	return m.collect(prog), nil
 }
 

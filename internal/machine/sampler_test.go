@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/obs"
+)
+
+// samplerProg sweeps more pages than fit in memory so the run generates
+// faults, swap-outs and ring traffic for the sampler to see.
+func samplerProg() Program {
+	return &testProg{name: "sampler-sweep", pages: 32, fn: func(ctx *Ctx, proc int) {
+		for rep := 0; rep < 3; rep++ {
+			for pg := PageID(0); pg < 32; pg++ {
+				ctx.Read(pg, 0, 4)
+				ctx.Write(pg, 0, 4)
+			}
+			ctx.Barrier()
+		}
+	}}
+}
+
+// runSampled executes the sweep with telemetry attached and returns the
+// result plus the NDJSON series bytes.
+func runSampled(t *testing.T, interval int64) (*Result, []byte) {
+	t.Helper()
+	m, err := New(smallCfg(), NWCache, disk.Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Observe(reg, nil)
+	s := obs.NewSampler(reg, interval, 0)
+	m.StartSampler(s)
+	res, err := m.Run(samplerProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 {
+		t.Fatal("sampler recorded no points")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteSeriesNDJSON(&buf, s.Export("test")); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// Two identical sampled runs must produce identical results and
+// byte-identical series files — the sampler ticks on the virtual clock,
+// never the wall clock.
+func TestMachineSamplerDeterministic(t *testing.T) {
+	r1, s1 := runSampled(t, 5000)
+	r2, s2 := runSampled(t, 5000)
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("exec time %d vs %d across identical sampled runs", r1.ExecTime, r2.ExecTime)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("identical runs produced different series files")
+	}
+}
+
+// Attaching a sampler must not steer the simulation: the result matches
+// an unobserved run exactly.
+func TestMachineSamplerDoesNotPerturbRun(t *testing.T) {
+	m, err := New(smallCfg(), NWCache, disk.Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Run(samplerProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, _ := runSampled(t, 1000)
+	if plain.ExecTime != sampled.ExecTime {
+		t.Fatalf("sampling changed the run: %d vs %d pcycles", sampled.ExecTime, plain.ExecTime)
+	}
+	if plain.Faults != sampled.Faults || plain.SwapOuts != sampled.SwapOuts {
+		t.Fatalf("sampling changed fault/swap counts: %d/%d vs %d/%d",
+			sampled.Faults, sampled.SwapOuts, plain.Faults, plain.SwapOuts)
+	}
+}
+
+// The final flush lands one sample at (or before) completion time and
+// the series never reaches past it.
+func TestMachineSamplerFinalFlush(t *testing.T) {
+	m, err := New(smallCfg(), NWCache, disk.Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Observe(reg, nil)
+	// Interval far longer than the run: only the final flush samples.
+	s := obs.NewSampler(reg, 1<<40, 0)
+	m.StartSampler(s)
+	res, err := m.Run(samplerProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len %d, want exactly the final flush", s.Len())
+	}
+	series := s.Export("")
+	last := int64(series[0].Points[len(series[0].Points)-1][0])
+	// The flush lands at the engine's final time: after every thread
+	// finished (ExecTime) and the machine drained its in-flight swap
+	// traffic — the series must end on the simulation's last state.
+	if last != m.E.Now() {
+		t.Fatalf("final sample at %v, want engine end time %d", last, m.E.Now())
+	}
+	if last < res.ExecTime {
+		t.Fatalf("final sample at %v precedes thread completion %d", last, res.ExecTime)
+	}
+}

@@ -214,6 +214,49 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the log2
+// buckets: the midpoint of the bucket holding the q-th sample, clamped to
+// the observed [min, max]. Resolution is a power of two — good enough
+// for the order-of-magnitude latency trends telemetry plots, at zero
+// extra recording cost. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	v := h.max
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 0 {
+				v = 0
+				break
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(1)<<i - 1
+			v = lo + (hi-lo)/2
+			break
+		}
+	}
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
 // probe is a lazily evaluated metric.
 type probe struct {
 	counter bool // render as a counter (monotone) vs a gauge (level)
@@ -225,6 +268,13 @@ type probe struct {
 // semantics let several emitters share one metric (e.g. every node's
 // frame pool incrementing the same "vm.reserve" counter); registering a
 // name under two different kinds panics, naming the wiring bug.
+//
+// Snapshot (and Sampler column) order is a pure function of the set of
+// registered names — bytewise sort of the fully qualified name — never of
+// registration order. Names that share a prefix ("ring.chan1" vs
+// "ring.chan10", "a.b" vs "a.b.c") therefore cannot interleave
+// differently depending on which subsystem wired first; see
+// TestSnapshotOrderIndependentOfRegistration.
 type Registry struct {
 	kinds    map[string]string
 	counters map[string]*Counter

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -190,5 +192,89 @@ func TestTraceCapDrops(t *testing.T) {
 	tr.Span(0, "c", 3, 4)
 	if tr.Len() != 2 || tr.Dropped() != 1 {
 		t.Fatalf("len=%d dropped=%d, want 2/1", tr.Len(), tr.Dropped())
+	}
+}
+
+// Snapshot order is the bytewise sort of the full dotted name and must
+// not depend on registration order — including the adversarial case of
+// metrics sharing a name prefix ("ring.chan1" vs "ring.chan10", "a.b"
+// vs "a.bc"), where an order-sensitive or segment-wise comparison could
+// interleave differently depending on which was registered first.
+func TestSnapshotOrderIndependentOfRegistration(t *testing.T) {
+	names := []string{"ring.chan1", "ring.chan10", "ring.chan2", "a.b", "a.bc", "a.b.c"}
+	build := func(order []string) []string {
+		reg := NewRegistry()
+		root := reg.Root()
+		for _, n := range order {
+			// Register the dotted path as nested scopes so prefixes
+			// genuinely share Scope objects.
+			parts := strings.Split(n, ".")
+			sc := root
+			for _, p := range parts[:len(parts)-1] {
+				sc = sc.Scope(p)
+			}
+			sc.Counter(parts[len(parts)-1]).Inc()
+		}
+		snap := reg.Snapshot()
+		got := make([]string, len(snap))
+		for i, mv := range snap {
+			got[i] = mv.Name
+		}
+		return got
+	}
+	fwd := build(names)
+	rev := build([]string{"a.b.c", "a.bc", "a.b", "ring.chan2", "ring.chan10", "ring.chan1"})
+	if len(fwd) != len(names) || len(rev) != len(names) {
+		t.Fatalf("snapshot sizes %d/%d, want %d", len(fwd), len(rev), len(names))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("registration order perturbed snapshot:\n fwd %v\n rev %v", fwd, rev)
+		}
+	}
+	if !sort.StringsAreSorted(fwd) {
+		t.Fatalf("snapshot not sorted: %v", fwd)
+	}
+}
+
+// Quantile interpolates from the log2 buckets: exact enough to land in
+// the right bucket, clamped to the observed min/max, zero when empty.
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile")
+	}
+	reg := NewRegistry()
+	h = reg.Root().Histogram("lat")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 256 || p50 > 1000 {
+		t.Fatalf("p50 = %d, want within the [512,1024) bucket's reach of 500", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %d < p50 %d", p99, p50)
+	}
+	if p99 > 1000 {
+		t.Fatalf("p99 %d exceeds observed max 1000 (must clamp)", p99)
+	}
+	if got := h.Quantile(0); got < 1 || got > 256 {
+		t.Fatalf("p0 = %d, want clamped near observed min 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %d, want observed max 1000", got)
+	}
+	// A single observation pins every quantile to that value.
+	h2 := reg.Root().Histogram("one")
+	h2.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h2.Quantile(q); got != 42 {
+			t.Fatalf("single-sample q%.2f = %d, want 42", q, got)
+		}
 	}
 }

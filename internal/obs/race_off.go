@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build (see race_on.go). Allocation-count assertions are skipped under
+// the detector, which inserts its own allocations.
+const raceEnabled = false

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nwcache/internal/stats"
+)
+
+// Watcher renders a LiveSet as an ANSI terminal dashboard: one block per
+// in-flight run showing the most informative metrics with
+// stats.Sparkline histories. It polls published frames at a wall-clock
+// rate and therefore never perturbs the simulation; write it to stderr
+// so the run's primary stdout (and its determinism digest) stays
+// byte-identical.
+type Watcher struct {
+	Set   *LiveSet
+	Out   io.Writer
+	Every time.Duration // refresh period (default 250ms)
+	Rows  int           // max metric rows per run (default 10)
+	Width int           // sparkline width (default 48)
+
+	hist map[string][]float64 // (run + "\x00" + metric) -> recent values
+}
+
+// watchPrefer orders metric prefixes by dashboard interest; metrics
+// matching an earlier prefix are shown first.
+var watchPrefer = []string{
+	"machine.", "ring.occupancy", "ring.", "fault.", "swap.",
+	"faultinj.", "vm.", "sim.",
+}
+
+// preferRank returns the index of the first matching prefix, or
+// len(watchPrefer) for no match.
+func preferRank(name string) int {
+	for i, p := range watchPrefer {
+		if strings.HasPrefix(name, p) {
+			return i
+		}
+	}
+	return len(watchPrefer)
+}
+
+// Run redraws the dashboard until stop closes, then renders one final
+// frame and returns.
+func (w *Watcher) Run(stop <-chan struct{}) {
+	if w.Every <= 0 {
+		w.Every = 250 * time.Millisecond
+	}
+	if w.Rows <= 0 {
+		w.Rows = 10
+	}
+	if w.Width <= 0 {
+		w.Width = 48
+	}
+	w.hist = make(map[string][]float64)
+	ticker := time.NewTicker(w.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			w.render(true)
+			return
+		case <-ticker.C:
+			w.render(false)
+		}
+	}
+}
+
+// render draws one frame. final switches the header so the last frame
+// reads as a summary rather than a stale spinner.
+func (w *Watcher) render(final bool) {
+	frames := w.Set.Frames()
+	var sb strings.Builder
+	// Home the cursor and clear below: repaint without scrollback spam.
+	sb.WriteString("\x1b[H\x1b[J")
+	state := "live"
+	if final {
+		state = "done"
+	}
+	fmt.Fprintf(&sb, "nwcache telemetry [%s] — %d run(s)\n", state, len(frames))
+	for _, f := range frames {
+		w.renderRun(&sb, f)
+	}
+	io.WriteString(w.Out, sb.String())
+}
+
+// renderRun draws one run's block, tracking sparkline history as a side
+// effect.
+func (w *Watcher) renderRun(sb *strings.Builder, f *LiveSample) {
+	run := f.Run
+	if run == "" {
+		run = "run"
+	}
+	fmt.Fprintf(sb, "\n%s  (t=%.1f Mpcycles, frame %d)\n", run, float64(f.Now)/1e6, f.Seq)
+	// Pick the Rows most interesting columns, stable across frames:
+	// names are sorted, so an insertion scan by (preferRank, name) is
+	// deterministic.
+	type pick struct {
+		idx  int
+		rank int
+	}
+	picks := make([]pick, 0, w.Rows)
+	for i, name := range f.Names {
+		r := preferRank(name)
+		pos := len(picks)
+		for pos > 0 && picks[pos-1].rank > r {
+			pos--
+		}
+		if pos >= w.Rows {
+			continue
+		}
+		picks = append(picks, pick{})
+		copy(picks[pos+1:], picks[pos:])
+		picks[pos] = pick{idx: i, rank: r}
+		if len(picks) > w.Rows {
+			picks = picks[:w.Rows]
+		}
+	}
+	nameW := 0
+	for _, p := range picks {
+		if n := len(f.Names[p.idx]); n > nameW {
+			nameW = n
+		}
+	}
+	for _, p := range picks {
+		name := f.Names[p.idx]
+		v := f.Values[p.idx]
+		key := f.Run + "\x00" + name
+		h := append(w.hist[key], v)
+		if len(h) > w.Width {
+			h = h[len(h)-w.Width:]
+		}
+		w.hist[key] = h
+		// Sparklines show level for gauges and rate-of-change for
+		// counters (a monotone ramp renders as its slope, which is the
+		// interesting shape: drain bursts, fault spikes).
+		line := h
+		if f.Kinds[p.idx] == "counter" {
+			line = make([]float64, len(h))
+			for i := 1; i < len(h); i++ {
+				line[i] = h[i] - h[i-1]
+			}
+		}
+		max := 0.0
+		for _, x := range line {
+			if x > max {
+				max = x
+			}
+		}
+		fmt.Fprintf(sb, "  %-*s |%-*s| %g\n", nameW, name, w.Width,
+			stats.Sparkline(line, max), v)
+	}
+}

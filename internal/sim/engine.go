@@ -92,6 +92,16 @@ type Engine struct {
 	dispatched uint64 // events fired
 	wakes      uint64 // proc hand-overs/resumes among the dispatched
 	heapPeak   int    // high-water mark of the future-event heap
+
+	// Clock-boundary tick hook (SetTick): tickFn fires whenever dispatch
+	// is about to cross a multiple of tickEvery. The hook lives outside
+	// the event queues on purpose — it consumes no sequence numbers and
+	// schedules nothing, so installing it cannot perturb dispatch order,
+	// and the clock never advances past the last real event. Disabled
+	// (nextTick == 0) it costs one predictable branch per dispatch.
+	tickEvery Time
+	nextTick  Time
+	tickFn    func(now Time)
 }
 
 // New returns an empty engine at time 0.
@@ -282,6 +292,18 @@ func (e *Engine) drive(owner *Proc) int {
 		if ev.t < e.now {
 			panic("sim: event queue returned event in the past")
 		}
+		if e.nextTick > 0 && ev.t >= e.nextTick {
+			// Crossing one or more tick boundaries: advance the clock to
+			// each boundary and fire the hook there, so samples carry
+			// regular timestamps and probes reading Now() see boundary
+			// time. The pending event has t >= every boundary crossed, so
+			// the clock stays monotone.
+			for ev.t >= e.nextTick {
+				e.now = e.nextTick
+				e.tickFn(e.nextTick)
+				e.nextTick += e.tickEvery
+			}
+		}
 		e.now = ev.t
 		e.pending--
 		e.dispatched++
@@ -365,6 +387,25 @@ func (e *Engine) Observe(sc *obs.Scope) {
 	sc.ProbeGauge("heap_peak", func() int64 { return int64(e.heapPeak) })
 	sc.ProbeGauge("events_pending", func() int64 { return int64(e.pending) })
 	sc.ProbeGauge("now_pcycles", func() int64 { return e.now })
+}
+
+// SetTick installs fn as the engine's clock-boundary hook: it is invoked
+// with the boundary time whenever dispatch crosses a multiple of d
+// pcycles (the first boundary is the first multiple of d after the
+// current time). The hook is observation-only machinery — it is not an
+// event: it consumes no sequence numbers, cannot reorder dispatch, and
+// fires only while real events remain, so the virtual clock never
+// advances beyond the simulation's own work. fn must not schedule events
+// or mutate simulation state; it is intended for telemetry sampling
+// (obs.Sampler). d <= 0 or a nil fn uninstalls the hook.
+func (e *Engine) SetTick(d Time, fn func(now Time)) {
+	if d <= 0 || fn == nil {
+		e.tickEvery, e.nextTick, e.tickFn = 0, 0, nil
+		return
+	}
+	e.tickEvery = d
+	e.nextTick = (e.now/d + 1) * d
+	e.tickFn = fn
 }
 
 // Stop makes Run return after the currently executing event completes.

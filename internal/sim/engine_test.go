@@ -264,3 +264,98 @@ func TestKillUnparksDependents(t *testing.T) {
 		t.Fatal("dependent proc did not resume during teardown")
 	}
 }
+
+// SetTick fires the hook at every crossed multiple of d, with Now()
+// reading boundary time inside the hook, and never past the last event.
+func TestSetTickFiresAtBoundaries(t *testing.T) {
+	e := New()
+	var ticks []Time
+	e.SetTick(10, func(now Time) {
+		if e.Now() != now {
+			t.Fatalf("Now()=%d inside hook for boundary %d", e.Now(), now)
+		}
+		ticks = append(ticks, now)
+	})
+	for _, at := range []Time{3, 7, 25, 47} {
+		e.At(at, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Events at 3 and 7 cross no boundary; 25 crosses 10 and 20; 47
+	// crosses 30 and 40. No tick at 50: the clock stops with the work.
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+	if e.Now() != 47 {
+		t.Fatalf("final time %d, want 47 (tick must not advance the clock)", e.Now())
+	}
+}
+
+// An event exactly on a boundary sees the hook fire first (boundary
+// times are "crossed" inclusively), and the hook never fires twice for
+// one boundary.
+func TestSetTickEventOnBoundary(t *testing.T) {
+	e := New()
+	var order []string
+	e.SetTick(10, func(now Time) { order = append(order, "tick") })
+	e.At(10, func() { order = append(order, "event") })
+	e.At(10, func() { order = append(order, "event") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "tick" || order[1] != "event" || order[2] != "event" {
+		t.Fatalf("order %v, want [tick event event]", order)
+	}
+}
+
+// Installing a tick hook must not change what the simulation computes:
+// same events, same order, same final clock.
+func TestSetTickDoesNotPerturbDispatch(t *testing.T) {
+	run := func(tick Time) ([]Time, Time) {
+		e := New()
+		if tick > 0 {
+			e.SetTick(tick, func(Time) {})
+		}
+		var got []Time
+		for _, d := range []Time{50, 10, 30, 20, 40, 30} {
+			d := d
+			e.At(d, func() { got = append(got, d) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got, e.Now()
+	}
+	base, baseNow := run(0)
+	ticked, tickedNow := run(7)
+	if baseNow != tickedNow {
+		t.Fatalf("final time %d with ticks, %d without", tickedNow, baseNow)
+	}
+	for i := range base {
+		if base[i] != ticked[i] {
+			t.Fatalf("dispatch order changed: %v vs %v", base, ticked)
+		}
+	}
+}
+
+// SetTick with d <= 0 or a nil hook uninstalls it.
+func TestSetTickUninstall(t *testing.T) {
+	e := New()
+	fired := 0
+	e.SetTick(5, func(Time) { fired++ })
+	e.SetTick(0, nil)
+	e.At(100, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("uninstalled hook fired %d times", fired)
+	}
+}

@@ -79,3 +79,27 @@ func bytesRepeat(b byte, n int) []byte {
 	}
 	return out
 }
+
+// sparkGlyphs are the fill levels for sparklines, low to high.
+var sparkGlyphs = []byte(" .:-=+*#%@")
+
+// Sparkline renders values scaled against max as one glyph per value —
+// the one-line time-series companion to BarChart, shared by the trace
+// analyzer, the live -watch dashboard, and nwreport.
+func Sparkline(values []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	out := make([]byte, len(values))
+	for i, v := range values {
+		lvl := int(v / max * float64(len(sparkGlyphs)-1))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(sparkGlyphs) {
+			lvl = len(sparkGlyphs) - 1
+		}
+		out[i] = sparkGlyphs[lvl]
+	}
+	return string(out)
+}

@@ -70,6 +70,31 @@ func TestBarChartZeroValues(t *testing.T) {
 	}
 }
 
+// Sparkline maps 0 to the blank glyph and max to the densest one, one
+// glyph per value. (Moved here with the function itself, which used to
+// live in internal/trace.)
+func TestSparklineScaling(t *testing.T) {
+	out := Sparkline([]float64{0, 0.5, 1}, 1)
+	if len(out) != 3 {
+		t.Fatalf("len %d", len(out))
+	}
+	if out[0] != ' ' {
+		t.Fatalf("zero level %q", out[0])
+	}
+	if out[2] != '@' {
+		t.Fatalf("max level %q", out[2])
+	}
+	// Degenerate max must not panic or divide by zero.
+	if Sparkline([]float64{1}, 0) == "" {
+		t.Fatal("empty sparkline")
+	}
+	// Values above max clamp to the top glyph instead of indexing out of
+	// range; negatives clamp to blank.
+	if got := Sparkline([]float64{2, -1}, 1); got != "@ " {
+		t.Fatalf("clamping: got %q, want \"@ \"", got)
+	}
+}
+
 // More segments than fill glyphs: the glyph set cycles rather than
 // indexing out of range.
 func TestBarChartGlyphCycle(t *testing.T) {

@@ -40,28 +40,6 @@ type PageCount struct {
 	Count uint64
 }
 
-// sparkGlyphs are the fill levels for sparklines, low to high.
-var sparkGlyphs = []byte(" .:-=+*#%@")
-
-// sparkline renders values scaled to max as one glyph per bucket.
-func sparkline(values []float64, max float64) string {
-	if max <= 0 {
-		max = 1
-	}
-	out := make([]byte, len(values))
-	for i, v := range values {
-		lvl := int(v / max * float64(len(sparkGlyphs)-1))
-		if lvl < 0 {
-			lvl = 0
-		}
-		if lvl >= len(sparkGlyphs) {
-			lvl = len(sparkGlyphs) - 1
-		}
-		out[i] = sparkGlyphs[lvl]
-	}
-	return string(out)
-}
-
 // timelineBuckets is the resolution of the occupancy timeline.
 const timelineBuckets = 60
 
@@ -82,12 +60,24 @@ func Analyze(events []Event) *Summary {
 	var weighted float64
 	tlWeight := make([]float64, timelineBuckets)
 	// addSpan folds an interval of constant occupancy into the timeline.
+	// Single-pass fast path: only the buckets the interval actually
+	// overlaps are touched (at most (to-from)/bucketWidth + 1), instead of
+	// scanning all timelineBuckets per ring event — the former O(events ×
+	// buckets) analysis pass is what made -analyze crawl on long traces.
+	bw := float64(s.Span) / timelineBuckets
 	addSpan := func(from, to int64, occ int) {
 		if s.Span <= 0 || to <= from {
 			return
 		}
-		bw := float64(s.Span) / timelineBuckets
-		for b := 0; b < timelineBuckets; b++ {
+		b0 := int(float64(from-start) / bw)
+		b1 := int(float64(to-start) / bw)
+		if b0 < 0 {
+			b0 = 0
+		}
+		if b1 >= timelineBuckets {
+			b1 = timelineBuckets - 1
+		}
+		for b := b0; b <= b1; b++ {
 			blo := float64(start) + float64(b)*bw
 			bhi := blo + bw
 			lo, hi := float64(from), float64(to)
@@ -199,7 +189,7 @@ func (s *Summary) String() string {
 			s.RingPeak, s.RingAvg)
 		if len(s.RingTimeline) > 0 {
 			fmt.Fprintf(&sb, "timeline:       |%s| 0..%d pages\n",
-				sparkline(s.RingTimeline, float64(s.RingPeak)), s.RingPeak)
+				stats.Sparkline(s.RingTimeline, float64(s.RingPeak)), s.RingPeak)
 		}
 		sb.WriteByte('\n')
 	}

@@ -187,6 +187,19 @@ func ReadBinary(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
+// ReadAuto decodes a trace in either format, sniffing the binary magic
+// from the first eight bytes instead of attempting a full binary read
+// and re-reading the stream as JSON on failure — one pass over the
+// input, no Seek required (so it also works on pipes).
+func ReadAuto(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic))
+	if err == nil && [8]byte(head[:8]) == magic {
+		return ReadBinary(br)
+	}
+	return ReadJSON(br)
+}
+
 // jsonEvent is the JSON lines representation.
 type jsonEvent struct {
 	T    int64  `json:"t"`

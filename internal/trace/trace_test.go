@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -249,19 +251,90 @@ func TestRingTimelineTracksOccupancy(t *testing.T) {
 	}
 }
 
-func TestSparklineScaling(t *testing.T) {
-	out := sparkline([]float64{0, 0.5, 1}, 1)
-	if len(out) != 3 {
-		t.Fatalf("len %d", len(out))
+// ReadAuto sniffs the binary magic and falls back to JSON — one pass,
+// no Seek, so it must work on a plain io.Reader of either format.
+func TestReadAutoSniffsFormat(t *testing.T) {
+	events := []Event{
+		{T: 10, Kind: FaultStart, Node: 1, Page: 42},
+		{T: 20, Kind: FaultDisk, Node: 1, Page: 42, Arg: 900},
+		{T: 30, Kind: RingInsert, Node: 0, Page: 7},
 	}
-	if out[0] != ' ' {
-		t.Fatalf("zero level %q", out[0])
+	var bin, js bytes.Buffer
+	if err := WriteBinary(&bin, events); err != nil {
+		t.Fatal(err)
 	}
-	if out[2] != '@' {
-		t.Fatalf("max level %q", out[2])
+	if err := WriteJSON(&js, events); err != nil {
+		t.Fatal(err)
 	}
-	// Degenerate max must not panic or divide by zero.
-	if sparkline([]float64{1}, 0) == "" {
-		t.Fatal("empty sparkline")
+	for name, buf := range map[string]*bytes.Buffer{"binary": &bin, "json": &js} {
+		got, err := ReadAuto(buf) // plain Reader: no Seek available
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, events) {
+			t.Fatalf("%s: round-trip mismatch: %v", name, got)
+		}
+	}
+	// Garbage shorter than the magic must error, not panic.
+	if _, err := ReadAuto(bytes.NewReader([]byte("xy"))); err == nil {
+		t.Fatal("short garbage accepted")
+	}
+}
+
+// Regression pin for the single-pass timeline fast path: analyzing the
+// committed mg trace (memory-constrained, so it exercises every ring
+// path) must keep producing the exact numbers the original
+// all-buckets-per-event implementation produced.
+func TestAnalyzeTestdataRegression(t *testing.T) {
+	f, err := os.Open("testdata/mg-pressured.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadAuto(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3957 {
+		t.Fatalf("events %d, want 3957", len(events))
+	}
+	s := Analyze(events)
+	if s.Span != 32918229 {
+		t.Fatalf("span %d, want 32918229", s.Span)
+	}
+	if s.RingPeak != 30 || s.RingSamples != 986 {
+		t.Fatalf("ring peak/samples %d/%d, want 30/986", s.RingPeak, s.RingSamples)
+	}
+	if got := s.RingAvg; got < 14.220462 || got > 14.220464 {
+		t.Fatalf("ring avg %.9f, want 14.220463", got)
+	}
+	wantCounts := map[Kind]uint64{
+		FaultStart: 636, FaultDisk: 184, FaultRing: 452, FaultWait: 193,
+		SwapStart: 493, SwapDone: 493, RingInsert: 493, RingDrain: 41,
+		RingVictim: 452, RingRelease: 493, CleanEvict: 27,
+	}
+	for k, want := range wantCounts {
+		if s.Counts[k] != want {
+			t.Fatalf("count[%s] = %d, want %d", k, s.Counts[k], want)
+		}
+	}
+	if len(s.RingTimeline) != 60 {
+		t.Fatalf("timeline len %d, want 60", len(s.RingTimeline))
+	}
+	var tlSum float64
+	for _, v := range s.RingTimeline {
+		tlSum += v
+	}
+	// The timeline checksum is the sharpest detector of bucket-edge bugs
+	// in the fast path (off-by-one in b0/b1, mis-clamped overlaps).
+	if tlSum < 853.22778 || tlSum > 853.22779 {
+		t.Fatalf("timeline checksum %.9f, want 853.227781", tlSum)
+	}
+	if s.FaultDiskLat.Total != 184 || s.FaultRingLat.Total != 452 || s.SwapLat.Total != 493 {
+		t.Fatalf("latency totals disk/ring/swap = %d/%d/%d, want 184/452/493",
+			s.FaultDiskLat.Total, s.FaultRingLat.Total, s.SwapLat.Total)
+	}
+	if len(s.HotPages) == 0 || s.HotPages[0] != (PageCount{Page: 92, Count: 10}) {
+		t.Fatalf("hottest page %v, want {92 10}", s.HotPages)
 	}
 }

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Run the hot-path benchmarks and emit BENCH_2.json.
+# Run the hot-path benchmarks and emit BENCH_5.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -21,7 +21,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_5.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -2,7 +2,10 @@
 # Compare two bench.sh outputs (e.g. BENCH_1.json vs BENCH_2.json) and
 # print per-benchmark deltas for time and allocations.
 #
-# Usage: scripts/benchdiff.sh [--warn] OLD.json NEW.json
+# Usage: scripts/benchdiff.sh [--warn] [OLD.json] NEW.json
+#
+# When OLD.json is omitted the latest checked-in baseline is used: the
+# highest-numbered BENCH_*.json in the repo root, excluding NEW itself.
 #
 # Benchmarks present in only one file are listed without a delta. Exits
 # non-zero on malformed input, zero otherwise (it reports; it does not
@@ -20,12 +23,32 @@ if [ "${1:-}" = "--warn" ]; then
   warn=1
   shift
 fi
-if [ $# -ne 2 ]; then
-  echo "usage: $0 [--warn] OLD.json NEW.json" >&2
+case $# in
+2)
+  old="$1"
+  new="$2"
+  ;;
+1)
+  # OLD omitted: fall back to the latest checked-in BENCH_*.json
+  # baseline (highest number wins), skipping NEW itself.
+  new="$1"
+  repo="$(cd "$(dirname "$0")/.." && pwd)"
+  old=""
+  for f in $(ls "$repo"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+    [ "$f" -ef "$new" ] 2>/dev/null && continue
+    old="$f"
+  done
+  if [ -z "$old" ]; then
+    echo "$0: no baseline BENCH_*.json found in $repo" >&2
+    exit 2
+  fi
+  echo "benchdiff: baseline $old" >&2
+  ;;
+*)
+  echo "usage: $0 [--warn] [OLD.json] NEW.json" >&2
   exit 2
-fi
-old="$1"
-new="$2"
+  ;;
+esac
 threshold="${BENCHDIFF_THRESHOLD:-15}"
 
 # bench.sh emits one record per line; pull the fields back out with awk.
