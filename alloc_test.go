@@ -1,0 +1,36 @@
+// Allocation-budget guards for the paper-scale hot path: the simulation
+// core pools events, processes, swap jobs, and control messages, so one
+// full gauss run stays within a few thousand allocations (setup plus
+// pool warm-up). A regression past the budget means a pooled path
+// started allocating per event again.
+package nwcache_test
+
+import (
+	"testing"
+
+	"nwcache"
+)
+
+// gaussAllocBudget bounds allocations of one paper-scale gauss run on
+// the NWCache machine. The measured steady state is ~4.7k allocs/run
+// (machine construction dominates); 50k leaves headroom for layout
+// changes while still catching any per-event or per-swap allocation
+// (gauss issues ~270k of each).
+const gaussAllocBudget = 50_000
+
+func TestGaussRunAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run in -short mode")
+	}
+	cfg := nwcache.DefaultConfig() // scale 1.0: the paper's input
+	cfg = nwcache.ApplyPaperMinFree(cfg, nwcache.NWCache, nwcache.Optimal)
+	run := func() {
+		if _, err := nwcache.Run("gauss", nwcache.NWCache, nwcache.Optimal, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(1, run)
+	if avg > gaussAllocBudget {
+		t.Fatalf("gauss run allocates %.0f, budget %d", avg, gaussAllocBudget)
+	}
+}

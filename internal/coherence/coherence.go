@@ -23,6 +23,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nwcache/internal/dense"
 	"nwcache/internal/obs"
@@ -254,20 +255,32 @@ func (c *Cache) Len() int { return c.count }
 // Directory tracks, per block, which caches hold it and in what state.
 // A single global structure suffices in the simulator (the home node is
 // wherever the page currently resides; timing is charged by the caller).
-// Entries are stored by value and deleted as soon as they empty, so the
-// map stays bounded and steady-state churn reuses its buckets instead of
-// allocating per-block entry objects.
+//
+// Block ids are small and dense (workload pages are compact integers, as
+// vm.Table exploits), so the directory is a flat slice indexed by block id
+// rather than a map: every Read/Write on the access hot path costs one
+// bounds-checked index instead of a hash + bucket probe. A slot's zero
+// value means "no entry" — owner is stored biased by one (0 = none,
+// i+1 = node i) so clearing a slot is a plain zero store.
 type Directory struct {
-	entries    map[int64]DirEntry
+	slots      []dirSlot
+	count      int // non-empty slots, for Len/Observe
 	invScratch []int
 
-	// Statistics: snoop traffic the directory ordered. Maintained
-	// unconditionally (plain integer bumps on map-touching paths).
+	// Statistics: snoop traffic the directory ordered.
 	Invalidations uint64 // Shared copies ordered invalidated
 	Forwards      uint64 // cache-to-cache transfers ordered
 }
 
-// DirEntry is one block's directory state.
+// dirSlot is one block's directory state, zero value = absent.
+type dirSlot struct {
+	sharers uint64 // bitmask of nodes with Shared copies
+	owner   int32  // 0 = no Modified copy; i+1 = node i owns it
+}
+
+func (s dirSlot) empty() bool { return s.sharers == 0 && s.owner == 0 }
+
+// DirEntry is one block's directory state as seen by callers.
 type DirEntry struct {
 	Sharers uint64 // bitmask of nodes with Shared copies
 	Owner   int    // node with the Modified copy, or -1
@@ -275,13 +288,31 @@ type DirEntry struct {
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{entries: make(map[int64]DirEntry)}
+	return &Directory{}
+}
+
+// slot returns the slot for block k, growing the table on demand (same
+// amortized-growth shape as vm.Table).
+func (d *Directory) slot(k int64) *dirSlot {
+	if k >= int64(len(d.slots)) {
+		grown := make([]dirSlot, k+k/2+8)
+		copy(grown, d.slots)
+		d.slots = grown
+	}
+	return &d.slots[k]
 }
 
 // Lookup returns the entry if present.
 func (d *Directory) Lookup(page int64, sub int) (DirEntry, bool) {
-	en, ok := d.entries[key(page, sub)]
-	return en, ok
+	k := key(page, sub)
+	if k >= int64(len(d.slots)) {
+		return DirEntry{}, false
+	}
+	s := d.slots[k]
+	if s.empty() {
+		return DirEntry{}, false
+	}
+	return DirEntry{Sharers: s.sharers, Owner: int(s.owner) - 1}, true
 }
 
 // Txn describes the coherence traffic one access requires; the machine
@@ -301,23 +332,21 @@ type Txn struct {
 // Read records node n obtaining a Shared copy and returns the traffic
 // needed. The caller must afterwards Insert into n's cache.
 func (d *Directory) Read(page int64, sub int, n int) Txn {
-	k := key(page, sub)
-	en, ok := d.entries[k]
-	if !ok {
-		en = DirEntry{Owner: -1}
+	s := d.slot(key(page, sub))
+	if s.empty() {
+		d.count++ // n joins the sharers below, so the slot fills
 	}
 	t := Txn{FetchFrom: -1}
-	if en.Owner >= 0 && en.Owner != n {
+	if o := int(s.owner) - 1; o >= 0 && o != n {
 		// Dirty copy elsewhere: forward it and downgrade to Shared.
-		t.FetchFrom = en.Owner
+		t.FetchFrom = o
 		d.Forwards++
-		en.Sharers |= 1 << uint(en.Owner)
-		en.Owner = -1
+		s.sharers |= 1 << uint(o)
+		s.owner = 0
 	} else {
 		t.MemoryData = true
 	}
-	en.Sharers |= 1 << uint(n)
-	d.entries[k] = en
+	s.sharers |= 1 << uint(n)
 	return t
 }
 
@@ -326,50 +355,60 @@ func (d *Directory) Read(page int64, sub int, n int) Txn {
 // sharers). The caller must afterwards Insert/SetState in n's cache.
 // The returned Invalidate slice is valid until the next Read/Write.
 func (d *Directory) Write(page int64, sub int, n int) Txn {
-	k := key(page, sub)
-	en, ok := d.entries[k]
-	if !ok {
-		en = DirEntry{Owner: -1}
+	s := d.slot(key(page, sub))
+	if s.empty() {
+		d.count++ // n becomes the owner below, so the slot fills
 	}
 	t := Txn{FetchFrom: -1}
-	if en.Owner >= 0 && en.Owner != n {
-		t.FetchFrom = en.Owner
+	o := int(s.owner) - 1
+	if o >= 0 && o != n {
+		t.FetchFrom = o
 		d.Forwards++
-	} else if en.Owner != n {
-		t.MemoryData = en.Sharers&(1<<uint(n)) == 0 // upgrade needs no data
+	} else if o != n {
+		t.MemoryData = s.sharers&(1<<uint(n)) == 0 // upgrade needs no data
 	}
 	inv := d.invScratch[:0]
-	for s := 0; s < 64; s++ {
-		if en.Sharers&(1<<uint(s)) != 0 && s != n {
-			inv = append(inv, s)
-		}
+	for b := s.sharers &^ (1 << uint(n)); b != 0; b &= b - 1 {
+		inv = append(inv, bits.TrailingZeros64(b))
 	}
 	d.invScratch = inv[:0]
 	if len(inv) > 0 {
 		t.Invalidate = inv
 		d.Invalidations += uint64(len(inv))
 	}
-	en.Sharers = 0
-	en.Owner = n
-	d.entries[k] = en
+	s.sharers = 0
+	s.owner = int32(n) + 1
 	return t
 }
 
 // EvictShared records a silent drop of a Shared copy.
 func (d *Directory) EvictShared(page int64, sub int, n int) {
 	k := key(page, sub)
-	if en, ok := d.entries[k]; ok {
-		en.Sharers &^= 1 << uint(n)
-		d.put(k, en)
+	if k >= int64(len(d.slots)) {
+		return
+	}
+	s := &d.slots[k]
+	if s.empty() {
+		return
+	}
+	s.sharers &^= 1 << uint(n)
+	if s.empty() {
+		d.count--
 	}
 }
 
 // EvictModified records the write-back of a Modified copy to memory.
 func (d *Directory) EvictModified(page int64, sub int, n int) {
 	k := key(page, sub)
-	if en, ok := d.entries[k]; ok && en.Owner == n {
-		en.Owner = -1
-		d.put(k, en)
+	if k >= int64(len(d.slots)) {
+		return
+	}
+	s := &d.slots[k]
+	if int(s.owner)-1 == n {
+		s.owner = 0
+		if s.sharers == 0 {
+			d.count--
+		}
 	}
 }
 
@@ -377,21 +416,20 @@ func (d *Directory) EvictModified(page int64, sub int, n int) {
 // all cached copies are being invalidated by the shootdown).
 func (d *Directory) DropPage(page int64) {
 	for sub := 0; sub < SubPerPage; sub++ {
-		delete(d.entries, key(page, sub))
-	}
-}
-
-// put stores the entry back, deleting it when empty to bound the map.
-func (d *Directory) put(k int64, en DirEntry) {
-	if en.Sharers == 0 && en.Owner < 0 {
-		delete(d.entries, k)
-	} else {
-		d.entries[k] = en
+		k := key(page, sub)
+		if k >= int64(len(d.slots)) {
+			return
+		}
+		s := &d.slots[k]
+		if !s.empty() {
+			*s = dirSlot{}
+			d.count--
+		}
 	}
 }
 
 // Len returns the number of tracked blocks (for tests).
-func (d *Directory) Len() int { return len(d.entries) }
+func (d *Directory) Len() int { return d.count }
 
 // Observe wires the directory's snoop statistics into an obs scope as
 // pull-based probes. No-op on a nil scope.
@@ -401,5 +439,5 @@ func (d *Directory) Observe(sc *obs.Scope) {
 	}
 	sc.ProbeCounter("invalidations", func() int64 { return int64(d.Invalidations) })
 	sc.ProbeCounter("forwards", func() int64 { return int64(d.Forwards) })
-	sc.ProbeGauge("tracked_blocks", func() int64 { return int64(len(d.entries)) })
+	sc.ProbeGauge("tracked_blocks", func() int64 { return int64(d.count) })
 }

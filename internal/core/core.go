@@ -122,6 +122,15 @@ func RunProgram(prog Program, kind Kind, mode PrefetchMode, cfg Config) (*Result
 	return m.Run(prog)
 }
 
+// Parallelize wraps a program for pipelined op-stream generation (the
+// -par parallel fast path): application threads generate their operation
+// streams on plain goroutines while the deterministic event engine
+// replays them, producing byte-identical results to a serial run. The
+// seed must be the cfg.Seed the program will run with.
+func Parallelize(prog Program, cfg Config) Program {
+	return workload.Pipeline(prog, cfg.Seed)
+}
+
 // NewMachine exposes machine construction for callers that need access to
 // the substrate state after a run (e.g. disk or ring statistics).
 func NewMachine(cfg Config, kind Kind, mode PrefetchMode) (*machine.Machine, error) {
@@ -157,6 +166,12 @@ type Cell struct {
 	// memoized Result may be returned without the hook firing (pool cache
 	// hits run no machine).
 	Obs func(Cell, *machine.Machine) `json:"-"`
+
+	// Par runs the cell with pipelined op-stream generation (the -par
+	// parallel fast path; see workload.Pipelined). Excluded from Key on
+	// purpose: a parallel run is byte-identical to a serial one, so
+	// either may serve a memoized request for the other.
+	Par bool `json:"-"`
 }
 
 // Run executes the cell on a fresh machine.
@@ -164,6 +179,9 @@ func (c Cell) Run() (*Result, error) {
 	prog, err := NewProgram(c.App, c.Cfg)
 	if err != nil {
 		return nil, err
+	}
+	if c.Par {
+		prog = workload.Pipeline(prog, c.Cfg.Seed)
 	}
 	kind := c.Kind
 	if c.RRDrain {

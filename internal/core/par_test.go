@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// requireIdentical fails unless two results are fully identical — the
+// parallel fast path's contract is byte-identical output, so every
+// field (timing, breakdowns, counters, fault account) must match.
+func requireIdentical(t *testing.T, label string, ser, par *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ser, par) {
+		t.Fatalf("%s: parallel result diverges from serial\nserial: %+v\nparallel: %+v", label, ser, par)
+	}
+	if ser.String() != par.String() {
+		t.Fatalf("%s: rendered output diverges", label)
+	}
+}
+
+// TestParallelMatchesSerialAllApps runs every built-in application with
+// and without pipelined op-stream generation across two seeds and
+// demands identical results. Naive prefetching on the NWCache machine
+// exercises the busiest protocol surface (faults to media, ring
+// traffic, swap-outs).
+func TestParallelMatchesSerialAllApps(t *testing.T) {
+	for _, app := range Apps() {
+		for _, seed := range []int64{1, 5} {
+			cfg := fastCfg()
+			cfg.Seed = seed
+			cell := Cell{App: app, Kind: NWCache, Mode: Naive, Cfg: cfg}
+			ser, err := cell.Run()
+			if err != nil {
+				t.Fatalf("%s seed %d serial: %v", app, seed, err)
+			}
+			cell.Par = true
+			par, err := cell.Run()
+			if err != nil {
+				t.Fatalf("%s seed %d parallel: %v", app, seed, err)
+			}
+			requireIdentical(t, app, ser, par)
+		}
+	}
+}
+
+// TestParallelMatchesSerialStandardMachine covers the standard machine
+// and optimal prefetching (different protocol paths: no ring, mesh
+// swap-outs, prefetched controller hits).
+func TestParallelMatchesSerialStandardMachine(t *testing.T) {
+	cell := Cell{App: "gauss", Kind: Standard, Mode: Optimal, Cfg: fastCfg()}
+	ser, err := cell.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Par = true
+	par, err := cell.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "gauss/standard/optimal", ser, par)
+}
+
+// TestParallelMatchesSerialFaulted runs a faulted cell under both
+// recovery policies with and without the parallel fast path: injected
+// faults perturb timing and control flow, and the parallel run must
+// still be identical down to the fault account.
+func TestParallelMatchesSerialFaulted(t *testing.T) {
+	for _, recovery := range []string{"aggressive", "conservative"} {
+		cell := faultCell()
+		cell.Recovery = recovery
+		ser, err := cell.Run()
+		if err != nil {
+			t.Fatalf("%s serial: %v", recovery, err)
+		}
+		cell.Par = true
+		par, err := cell.Run()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", recovery, err)
+		}
+		if ser.FaultSummary != par.FaultSummary {
+			t.Fatalf("%s: fault summaries diverge", recovery)
+		}
+		requireIdentical(t, recovery, ser, par)
+	}
+}

@@ -105,8 +105,9 @@ func (m *Machine) faultFromRing(p *sim.Proc, n *Node, en *vm.Entry) bool {
 		// (asynchronously).
 		dn := m.Layout.NodeFor(en.Page)
 		arrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
-		iface := m.Ifaces[dn]
-		m.E.At(arrive, func() { iface.Cancel(ringEn) })
+		g := m.takeMsg()
+		g.kind, g.to, g.en = msgCancel, dn, ringEn
+		m.E.At(arrive, g.run)
 		n.charge(stats.Fault, p.Now()-t0)
 		m.emit(trace.RingVictim, n.ID, en.Page, 0)
 		m.emit(trace.FaultRing, n.ID, en.Page, p.Now()-t0)

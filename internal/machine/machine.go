@@ -146,6 +146,11 @@ type Machine struct {
 	// flt is the fault injector (nil = perfect hardware); see AttachFaults.
 	flt *fault.Injector
 
+	// msgPool recycles control-message deliveries (disk OKs, ring ACKs,
+	// interface notices/cancels) so the protocol paths never allocate a
+	// closure per message in flight.
+	msgPool []*meshMsg
+
 	rng *rand.Rand
 }
 
@@ -163,6 +168,55 @@ type swapJob struct {
 	page  PageID
 	start sim.Time
 	run   func(*sim.Proc)
+}
+
+// meshMsg is one control message in flight across the mesh: a disk
+// controller's OK, a ring ACK, or a swap notice/cancel bound for an
+// NWCache interface. The run closure is pre-bound at construction and the
+// message returns itself to the machine's pool on delivery, so sending a
+// control message performs no allocation in steady state (the same
+// discipline as swapJob for swap-out processes).
+type meshMsg struct {
+	m    *Machine
+	kind uint8
+	to   int            // destination node (msgNotify/msgCancel: the I/O node)
+	page PageID         // msgOK: the page whose OK is awaited
+	en   *optical.Entry // ring messages: the entry concerned
+	run  func()
+}
+
+// Control-message kinds for meshMsg.
+const (
+	msgOK uint8 = iota
+	msgRingACK
+	msgNotify
+	msgCancel
+)
+
+// takeMsg pops a pooled control message (or builds one with its delivery
+// body pre-bound).
+func (m *Machine) takeMsg() *meshMsg {
+	if k := len(m.msgPool); k > 0 {
+		g := m.msgPool[k-1]
+		m.msgPool = m.msgPool[:k-1]
+		return g
+	}
+	g := &meshMsg{m: m}
+	g.run = func() {
+		switch g.kind {
+		case msgOK:
+			g.m.okArrived(g.to, g.page)
+		case msgRingACK:
+			g.m.ringACKArrived(g.to, g.en)
+		case msgNotify:
+			g.m.Ifaces[g.to].Notify(g.en)
+		case msgCancel:
+			g.m.Ifaces[g.to].Cancel(g.en)
+		}
+		g.en = nil
+		g.m.msgPool = append(g.m.msgPool, g)
+	}
+	return g
 }
 
 // getOKCond takes a pooled cond (waiter FIFO capacity retained) for an OK
@@ -276,15 +330,21 @@ func New(cfg param.Config, kind Kind, mode disk.PrefetchMode) (*Machine, error) 
 // previously NACKed swap-out) back to the swapping node over the mesh.
 func (m *Machine) deliverOK(from, to int, page PageID) {
 	arrive := m.Mesh.Transit(m.E.Now(), from, to, m.Cfg.CtrlMsgLen)
-	m.E.At(arrive, func() {
-		n := m.Nodes[to]
-		for i := range n.okWaits {
-			if n.okWaits[i].page == page {
-				n.okWaits[i].c.Signal()
-				return
-			}
+	g := m.takeMsg()
+	g.kind, g.to, g.page = msgOK, to, page
+	m.E.At(arrive, g.run)
+}
+
+// okArrived delivers a disk OK at its destination node, waking the waiter
+// parked on that page.
+func (m *Machine) okArrived(to int, page PageID) {
+	n := m.Nodes[to]
+	for i := range n.okWaits {
+		if n.okWaits[i].page == page {
+			n.okWaits[i].c.Signal()
+			return
 		}
-	})
+	}
 }
 
 // deliverRingACK routes the ACK for a page that left the ring (drained to
@@ -294,23 +354,28 @@ func (m *Machine) deliverOK(from, to int, page PageID) {
 func (m *Machine) deliverRingACK(from int, en *optical.Entry) {
 	to := m.Ring.OwnerOf(en.Channel)
 	arrive := m.Mesh.Transit(m.E.Now(), from, to, m.Cfg.CtrlMsgLen)
-	m.E.At(arrive, func() {
-		// Clear the Ring bit if the page is still recorded as on-ring
-		// (a victim read may already have re-mapped it).
-		if pte, ok := m.Table.Lookup(en.Page); ok && pte.State == vm.OnRing && pte.RingEntry == en {
-			pte.State = vm.Unmapped
-			pte.Owner = -1
-			pte.RingEntry = nil
-			pte.Dirty = false // the disk controller now holds the data
-			pte.Arrived.Broadcast()
-		}
-		m.emit(trace.RingRelease, to, en.Page, 0)
-		m.flt.NoteRingRelease(m.E.Now(), en.InsertedAt)
-		m.Ring.Release(en)
-		m.Nodes[to].chanRoom.Broadcast()
-		// Room on the ring means drains happened; nothing else to do —
-		// disk room changes are kicked by the disk write path itself.
-	})
+	g := m.takeMsg()
+	g.kind, g.to, g.en = msgRingACK, to, en
+	m.E.At(arrive, g.run)
+}
+
+// ringACKArrived delivers a ring ACK at the swapping node.
+func (m *Machine) ringACKArrived(to int, en *optical.Entry) {
+	// Clear the Ring bit if the page is still recorded as on-ring
+	// (a victim read may already have re-mapped it).
+	if pte, ok := m.Table.Lookup(en.Page); ok && pte.State == vm.OnRing && pte.RingEntry == en {
+		pte.State = vm.Unmapped
+		pte.Owner = -1
+		pte.RingEntry = nil
+		pte.Dirty = false // the disk controller now holds the data
+		pte.Arrived.Broadcast()
+	}
+	m.emit(trace.RingRelease, to, en.Page, 0)
+	m.flt.NoteRingRelease(m.E.Now(), en.InsertedAt)
+	m.Ring.Release(en)
+	m.Nodes[to].chanRoom.Broadcast()
+	// Room on the ring means drains happened; nothing else to do —
+	// disk room changes are kicked by the disk write path itself.
 }
 
 // Lock returns (creating on demand) an application-level lock. Lock ids

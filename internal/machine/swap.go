@@ -233,8 +233,9 @@ func (m *Machine) swapToRing(p *sim.Proc, n *Node, en *vm.Entry, page PageID, st
 	// notice to the I/O node responsible for the page.
 	_, dn := m.DiskFor(page)
 	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
-	iface := m.Ifaces[dn]
-	m.E.At(noticeArrive, func() { iface.Notify(entry) })
+	g := m.takeMsg()
+	g.kind, g.to, g.en = msgNotify, dn, entry
+	m.E.At(noticeArrive, g.run)
 }
 
 // swapRingConservative finishes a ring swap-out under the conservative
@@ -254,8 +255,9 @@ func (m *Machine) swapRingConservative(p *sim.Proc, n *Node, en *vm.Entry, entry
 	en.Lock.Unlock()
 	_, dn := m.DiskFor(page)
 	noticeArrive := m.Mesh.Transit(p.Now(), n.ID, dn, m.Cfg.CtrlMsgLen)
-	iface := m.Ifaces[dn]
-	m.E.At(noticeArrive, func() { iface.Notify(entry) })
+	g := m.takeMsg()
+	g.kind, g.to, g.en = msgNotify, dn, entry
+	m.E.At(noticeArrive, g.run)
 	// Hold the frame until the page is safely off the ring (ACK received
 	// or crash-voided); deliverRingACK and crashIONode broadcast chanRoom.
 	for entry.State != optical.Gone {

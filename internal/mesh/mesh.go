@@ -67,6 +67,7 @@ type Mesh struct {
 	// metadata below is built only when the plan contains link flaps, so
 	// the flap-free fast path stays allocation-free and branch-cheap.
 	flt      *fault.Injector
+	flapped  bool              // plan contains link flaps: take the faulty-path slow path
 	pathHops [][]int32         // per (src,dst): XY link ids (node*numDirs+dir)
 	yxPaths  [][]*sim.Resource // per (src,dst): YX fallback resource path
 	yxHops   [][]int32         // per (src,dst): YX link ids
@@ -140,7 +141,8 @@ func (m *Mesh) Nodes() int { return m.w * m.h }
 // links; without flaps the precomputed XY fast path is untouched.
 func (m *Mesh) SetFaults(inj *fault.Injector) {
 	m.flt = inj
-	if inj.HasFlaps() && m.pathHops == nil {
+	m.flapped = inj.HasFlaps()
+	if m.flapped && m.pathHops == nil {
 		m.buildFaultRoutes()
 	}
 }
@@ -303,7 +305,7 @@ func (m *Mesh) AppendPathStages(buf []sim.Stage, src, dst, bytes int) []sim.Stag
 	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
 	path := m.path(src, dst)
 	var stall sim.Time
-	if m.flt.HasFlaps() {
+	if m.flapped {
 		path, stall = m.faultyPath(src, dst, m.e.Now())
 	}
 	lo := len(buf)
@@ -333,7 +335,7 @@ func (m *Mesh) PathStages(src, dst, bytes int) []sim.Stage {
 func (m *Mesh) Transit(earliest sim.Time, src, dst, bytes int) (arrive sim.Time) {
 	occupy := param.TransferPcycles(int64(bytes), m.bwMBs)
 	path := m.path(src, dst)
-	if m.flt.HasFlaps() {
+	if m.flapped {
 		var stall sim.Time
 		path, stall = m.faultyPath(src, dst, earliest)
 		earliest += stall

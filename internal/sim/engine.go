@@ -16,14 +16,22 @@
 //
 // The dispatch core is built for throughput (see MODEL.md, "Engine fast
 // path"): event slots are pooled and recycled, future events live in an
-// inlined 4-ary heap, and events scheduled for the current instant (the
-// unpark/transfer storm of the synchronization primitives) bypass the heap
-// through a FIFO ready queue. None of this changes the dispatch order:
-// every event still fires in strict (time, seq) order.
+// inlined 4-ary heap, and dispatch is batched per instant — advancing the
+// clock drains every heap event bearing the new timestamp into a FIFO
+// ready queue in one pass, so the per-event path is a ready-queue pop that
+// never touches the heap, and events scheduled for the current instant
+// (the unpark/transfer storm of the synchronization primitives) join the
+// same queue directly. Optional per-run machinery (the tick hook, the
+// livelock guard) is checked against sentinel values (a next-tick of
+// MaxInt64, an event budget of MaxUint64) chosen once when the feature is
+// (un)installed, so a disabled feature costs one always-false compare in
+// the hot loop rather than a branch chain. None of this changes the
+// dispatch order: every event still fires in strict (time, seq) order.
 package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -65,16 +73,26 @@ type Event struct {
 	gen uint32
 }
 
+// never is the sentinel next-tick boundary while no tick hook is
+// installed: time can never reach it, so the disabled hook costs one
+// always-false compare per time advance (not per event).
+const never = Time(math.MaxInt64)
+
+// noLimit is the sentinel event budget while the livelock guard is
+// disarmed: Dispatched can never reach it, so the disabled guard costs one
+// always-false compare per event.
+const noLimit = ^uint64(0)
+
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now     Time
 	seq     uint64
 	stopped bool
-	limit   uint64 // event budget for livelock detection, 0 = unlimited
-	tripped bool   // limit was hit during the current Run
+	stopAt  uint64 // livelock event budget; noLimit when disarmed
+	tripped bool   // budget was hit during the current Run
 
 	heap      []*event // 4-ary min-heap of future events, ordered by (t, seq)
-	ready     []*event // FIFO of events scheduled for the current instant
+	ready     []*event // FIFO of events at the current instant, in seq order
 	readyHead int
 	free      []*event // recycled event slots
 	pending   int      // scheduled events not yet fired or canceled
@@ -85,6 +103,7 @@ type Engine struct {
 	main       chan struct{} // driver token handed back to Run/KillParked on drain
 	back       chan struct{} // killed proc -> KillParked: "I have unwound"
 	current    *Proc         // proc currently holding control, nil in callbacks
+	procPool   []*Proc       // finished proc shells whose goroutines await reuse
 
 	// Dispatch statistics, maintained unconditionally: plain integer
 	// bumps on already-written cache lines, far below the noise floor of
@@ -94,11 +113,12 @@ type Engine struct {
 	heapPeak   int    // high-water mark of the future-event heap
 
 	// Clock-boundary tick hook (SetTick): tickFn fires whenever dispatch
-	// is about to cross a multiple of tickEvery. The hook lives outside
-	// the event queues on purpose — it consumes no sequence numbers and
-	// schedules nothing, so installing it cannot perturb dispatch order,
-	// and the clock never advances past the last real event. Disabled
-	// (nextTick == 0) it costs one predictable branch per dispatch.
+	// crosses a multiple of tickEvery. The hook lives outside the event
+	// queues on purpose — it consumes no sequence numbers and schedules
+	// nothing, so installing it cannot perturb dispatch order, and the
+	// clock never advances past the last real event. Disabled, nextTick
+	// is the `never` sentinel and the hook costs nothing on the per-event
+	// path (the boundary check lives on the time-advance path).
 	tickEvery Time
 	nextTick  Time
 	tickFn    func(now Time)
@@ -110,8 +130,10 @@ func New() *Engine {
 		// Capacity 1 so a control hand-over is one buffered send (no
 		// rendezvous double-park); tokens strictly alternate, so a
 		// buffer never holds more than one.
-		main: make(chan struct{}, 1),
-		back: make(chan struct{}, 1),
+		main:     make(chan struct{}, 1),
+		back:     make(chan struct{}, 1),
+		stopAt:   noLimit,
+		nextTick: never,
 	}
 }
 
@@ -127,8 +149,11 @@ const eventChunk = 64
 func (e *Engine) alloc(t Time, kind eventKind, fn func(), p *Proc) *event {
 	var ev *event
 	if n := len(e.free); n > 0 {
+		// The popped slot is deliberately not nilled out of the backing
+		// array: slots are immortal (they cycle queue -> free forever), so
+		// the stale reference costs nothing, and skipping the store avoids
+		// a GC write barrier on every allocation.
 		ev = e.free[n-1]
-		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
 		chunk := make([]event, eventChunk)
@@ -148,11 +173,13 @@ func (e *Engine) alloc(t Time, kind eventKind, fn func(), p *Proc) *event {
 }
 
 // release returns a slot to the pool. The generation bump invalidates
-// every outstanding handle to the slot's previous life.
+// every outstanding handle to the slot's previous life. The fn and p
+// references are deliberately left for the slot's next alloc to
+// overwrite: the retention is bounded (one stale closure per pooled
+// slot, and Proc shells are pooled on the engine anyway), and skipping
+// the stores keeps GC write barriers off the per-event path.
 func (e *Engine) release(ev *event) {
 	ev.gen++
-	ev.fn = nil
-	ev.p = nil
 	e.free = append(e.free, ev)
 }
 
@@ -200,8 +227,7 @@ func (e *Engine) heapPop() *event {
 	top := h[0]
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
-	h = h[:n]
+	h = h[:n] // stale slot reference beyond len is harmless: slots are pooled forever
 	if n > 0 {
 		i := 0
 		for {
@@ -233,31 +259,46 @@ func (e *Engine) heapPop() *event {
 	return top
 }
 
-// popNext removes the globally next event in (t, seq) order, merging the
-// ready FIFO with the heap, or returns nil when both are empty. Ready
-// entries always carry t == now (time cannot advance while one is
-// pending), so heap events only win the comparison via a lower seq at the
-// same instant.
-func (e *Engine) popNext() *event {
-	if e.readyHead < len(e.ready) {
-		r := e.ready[e.readyHead]
-		if len(e.heap) > 0 {
-			if h := e.heap[0]; h.t < r.t || (h.t == r.t && h.seq < r.seq) {
-				return e.heapPop()
-			}
-		}
-		e.ready[e.readyHead] = nil
-		e.readyHead++
-		if e.readyHead == len(e.ready) {
-			e.ready = e.ready[:0]
-			e.readyHead = 0
-		}
-		return r
+// nextInstant advances the clock to the earliest future timestamp, fires
+// any tick boundaries crossed on the way, drains every other heap event
+// bearing that timestamp into the ready FIFO in one pass, and returns the
+// first event of the new instant. Returns nil when the heap is empty.
+//
+// The drain preserves global (t, seq) order: repeated heap pops at equal t
+// yield ascending seq, and every event scheduled *during* the instant
+// carries a later seq than all of them (heap entries at t were, by
+// construction, scheduled before the clock reached t) and is appended to
+// the same FIFO by schedule. So once an instant begins, dispatch is a pure
+// FIFO pop — the heap and the tick boundary are only ever touched here,
+// once per distinct timestamp.
+func (e *Engine) nextInstant() *event {
+	if len(e.heap) == 0 {
+		return nil
 	}
-	if len(e.heap) > 0 {
-		return e.heapPop()
+	e.ready = e.ready[:0]
+	e.readyHead = 0
+	t := e.heap[0].t
+	if t < e.now {
+		panic("sim: event queue returned event in the past")
 	}
-	return nil
+	if t >= e.nextTick {
+		// Crossing one or more tick boundaries: advance the clock to
+		// each boundary and fire the hook there, so samples carry
+		// regular timestamps and probes reading Now() see boundary time.
+		// The pending event has t >= every boundary crossed, so the
+		// clock stays monotone.
+		for t >= e.nextTick {
+			e.now = e.nextTick
+			e.tickFn(e.nextTick)
+			e.nextTick += e.tickEvery
+		}
+	}
+	e.now = t
+	first := e.heapPop()
+	for len(e.heap) > 0 && e.heap[0].t == t {
+		e.ready = append(e.ready, e.heapPop())
+	}
+	return first
 }
 
 // drive outcomes.
@@ -281,37 +322,26 @@ const (
 // sleep expires with no intervening work).
 func (e *Engine) drive(owner *Proc) int {
 	for !e.stopped {
-		ev := e.popNext()
-		if ev == nil {
+		var ev *event
+		if e.readyHead < len(e.ready) {
+			ev = e.ready[e.readyHead]
+			e.readyHead++
+		} else if ev = e.nextInstant(); ev == nil {
 			return driveDrained
 		}
 		if ev.canceled {
 			e.release(ev)
 			continue
 		}
-		if ev.t < e.now {
-			panic("sim: event queue returned event in the past")
-		}
-		if e.nextTick > 0 && ev.t >= e.nextTick {
-			// Crossing one or more tick boundaries: advance the clock to
-			// each boundary and fire the hook there, so samples carry
-			// regular timestamps and probes reading Now() see boundary
-			// time. The pending event has t >= every boundary crossed, so
-			// the clock stays monotone.
-			for ev.t >= e.nextTick {
-				e.now = e.nextTick
-				e.tickFn(e.nextTick)
-				e.nextTick += e.tickEvery
-			}
-		}
-		e.now = ev.t
 		e.pending--
 		e.dispatched++
-		if e.limit != 0 && e.dispatched >= e.limit && !e.tripped {
+		if e.dispatched >= e.stopAt {
 			// Livelock guard: the event budget is exhausted. Finish this
 			// event, then stop; Run turns the trip into a LivelockError.
+			// Disarm the budget so teardown dispatch cannot re-trip.
 			e.tripped = true
 			e.stopped = true
+			e.stopAt = noLimit
 		}
 		// Recycle before acting: an event firing right now can schedule
 		// into (and a canceled handle can never reach) this slot's next
@@ -400,7 +430,7 @@ func (e *Engine) Observe(sc *obs.Scope) {
 // (obs.Sampler). d <= 0 or a nil fn uninstalls the hook.
 func (e *Engine) SetTick(d Time, fn func(now Time)) {
 	if d <= 0 || fn == nil {
-		e.tickEvery, e.nextTick, e.tickFn = 0, 0, nil
+		e.tickEvery, e.nextTick, e.tickFn = 0, never, nil
 		return
 	}
 	e.tickEvery = d
@@ -416,7 +446,13 @@ func (e *Engine) Stop() { e.stopped = true }
 // forever. 0 (the default) disables the guard. The budget counts against
 // the engine's lifetime Dispatched() total, so set it relative to the
 // current count when re-running an engine.
-func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+func (e *Engine) SetEventLimit(n uint64) {
+	if n == 0 {
+		e.stopAt = noLimit
+		return
+	}
+	e.stopAt = n
+}
 
 // BlockedProc is one process stuck on a synchronization primitive in a
 // DeadlockError or LivelockError diagnostic dump.
@@ -509,7 +545,7 @@ func (e *Engine) Run() error {
 		// Teardown: drop the still-growing event storm (re-parking procs
 		// whose wakes are discarded), then unwind everything without a
 		// budget — KillParked must be able to finish.
-		e.limit = 0
+		e.stopAt = noLimit
 		e.tripped = false
 		e.clearPending()
 		e.KillParked()
@@ -590,7 +626,9 @@ func (e *Engine) removeParked(p *Proc) {
 // goroutines leak when a simulation is abandoned. Killing a process runs its
 // defers, which may unpark other processes (e.g. by releasing a semaphore);
 // those are resumed to quiescence before the next victim is killed, so
-// teardown is orderly and complete. Safe to call repeatedly.
+// teardown is orderly and complete. Finished-process shells recycled
+// through the spawn pool are retired last, so their idle goroutines do not
+// outlive the simulation either. Safe to call repeatedly.
 func (e *Engine) KillParked() {
 	e.stopped = false // teardown always drains what remains
 	for {
@@ -600,7 +638,7 @@ func (e *Engine) KillParked() {
 			<-e.main
 		}
 		if len(e.parkedList) == 0 {
-			return
+			break
 		}
 		// Kill the oldest parked process for determinism.
 		victim := e.parkedList[0]
@@ -615,5 +653,13 @@ func (e *Engine) KillParked() {
 		victim.cont <- struct{}{}
 		<-e.back // victim has unwound; we still hold the driver token
 		e.current = nil
+	}
+	for k := len(e.procPool); k > 0; k = len(e.procPool) {
+		p := e.procPool[k-1]
+		e.procPool[k-1] = nil
+		e.procPool = e.procPool[:k-1]
+		p.retire = true
+		p.cont <- struct{}{}
+		<-e.back // goroutine has exited its loop
 	}
 }

@@ -149,3 +149,64 @@ func TestSleepAllocsAmortizedZero(t *testing.T) {
 		t.Fatalf("Sleep allocates %v/op warm, want 0", avg)
 	}
 }
+
+// Batched same-instant dispatch must preserve strict (time, seq) order:
+// every event already in the heap when an instant begins was scheduled
+// before it, so the whole heap batch fires first (in schedule order),
+// then events scheduled for the same instant during its execution (FIFO
+// through the ready queue), then the next instant.
+func TestBatchedDispatchPreservesSeqOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func() { order = append(order, 0) })
+	e.At(5, func() {
+		order = append(order, 1)
+		e.At(5, func() { order = append(order, 4) }) // same instant, mid-batch
+		e.At(6, func() { order = append(order, 6) }) // next instant
+	})
+	e.At(5, func() { order = append(order, 2) })
+	e.At(5, func() {
+		order = append(order, 3)
+		e.At(5, func() { order = append(order, 5) }) // after the mid-batch one
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// Spawning short-lived processes is amortized allocation-free: completed
+// procs park their goroutine and shell on the engine's pool, and the next
+// spawn reuses them (the swap-out issue path spawns one proc per page).
+func TestSpawnAllocsAmortizedZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	e := New()
+	body := func(q *Proc) {}
+	var avg float64
+	e.Spawn("driver", func(p *Proc) {
+		for i := 0; i < 64; i++ { // warm the proc pool
+			e.Spawn("w", body)
+			p.Sleep(1)
+		}
+		avg = testing.AllocsPerRun(500, func() {
+			e.Spawn("w", body)
+			p.Sleep(1) // let the spawned proc run to completion
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("Spawn allocates %v/op warm, want 0", avg)
+	}
+}

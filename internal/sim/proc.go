@@ -9,13 +9,23 @@ type procKilled struct{ name string }
 // goroutine but only while the engine has explicitly transferred control to
 // it; it must yield (by sleeping or blocking) to let simulation time
 // advance. All Proc methods must be called from the Proc's own goroutine.
+//
+// Proc shells (struct, control channel, goroutine) are pooled: when a body
+// returns, the shell parks on Engine.procPool and its goroutine blocks on
+// cont awaiting the next spawn, so steady-state process churn (the swap-out
+// daemons spawn hundreds of thousands of short-lived processes per run)
+// allocates nothing. Recycling never perturbs dispatch order: spawn
+// consumes exactly the same two sequence numbers (process id, start event)
+// whether the shell is fresh or pooled.
 type Proc struct {
 	e         *Engine
 	id        uint64
 	name      string
 	daemon    bool
 	cont      chan struct{} // engine -> proc: "you have control"
+	body      func(*Proc)   // current life's body; nil between lives
 	killed    bool
+	retire    bool   // KillParked: exit the goroutine instead of recycling
 	parkedIdx int    // index in Engine.parkedList, -1 when not parked
 	waitOn    string // label of the primitive currently parked on
 	parkedAt  Time   // when the current park began
@@ -37,43 +47,87 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 
 func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 	e.seq++
-	p := &Proc{e: e, id: e.seq, name: name, daemon: daemon,
-		cont: make(chan struct{}, 1), parkedIdx: -1}
-	go func() {
-		<-p.cont // wait for the start event to hand over control
+	var p *Proc
+	if k := len(e.procPool); k > 0 {
+		p = e.procPool[k-1]
+		e.procPool[k-1] = nil
+		e.procPool = e.procPool[:k-1]
+	} else {
+		p = &Proc{e: e, cont: make(chan struct{}, 1)}
+		go p.loop()
+	}
+	p.id = e.seq
+	p.name = name
+	p.daemon = daemon
+	p.killed = false
+	p.parkedIdx = -1
+	p.body = fn
+	e.schedule(e.now, evStart, nil, p)
+	return p
+}
+
+// loop is a proc shell's goroutine: one iteration per life. Between lives
+// the goroutine blocks on cont with the shell sitting in Engine.procPool;
+// KillParked retires it at teardown so abandoned engines leak nothing.
+func (p *Proc) loop() {
+	e := p.e
+	for {
+		<-p.cont // wait for the start event (or retirement) to hand over control
+		if p.retire {
+			e.back <- struct{}{}
+			return
+		}
 		if p.killed {
 			// Start event discarded (livelock teardown) before the body
 			// ever ran: unwind directly. live was never incremented, and
 			// the kill protocol's defer does not exist yet.
 			e.current = nil
+			p.recycle()
 			e.back <- struct{}{}
-			return
+			continue
 		}
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); ok {
-					// Killed during engine teardown: just exit. The driver
-					// token goes straight back to KillParked, which resumes
-					// whatever the unwinding defers made runnable.
-					e.live--
-					e.current = nil
-					e.back <- struct{}{}
-					return
-				}
-				panic(r) // real bug: crash loudly
+		p.run()
+	}
+}
+
+// recycle parks the shell on the spawn pool for its next life. Must run
+// while this goroutine still holds the driver token (or is mid-unwind with
+// KillParked blocked on back), so pool access is race-free.
+func (p *Proc) recycle() {
+	p.body = nil
+	p.e.procPool = append(p.e.procPool, p)
+}
+
+// run executes one life of the process body and hands the shell back to
+// the pool. The shell is recycled *before* the completion dispatch below:
+// an event dispatched there may respawn this very shell, in which case the
+// hand-over lands in cont and loop picks the new body up immediately.
+func (p *Proc) run() {
+	e := p.e
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				// Killed during engine teardown: recycle and return the
+				// driver token to KillParked, which resumes whatever the
+				// unwinding defers made runnable.
+				e.live--
+				e.current = nil
+				p.recycle()
+				e.back <- struct{}{}
+				return
 			}
-			// Normal completion: this goroutine still holds the driver
-			// token, so keep dispatching until it can be handed off.
-			e.live--
-			e.current = nil
-			if e.drive(nil) == driveDrained {
-				e.main <- struct{}{}
-			}
-		}()
-		fn(p)
+			panic(r) // real bug: crash loudly
+		}
+		// Normal completion: this goroutine still holds the driver
+		// token, so keep dispatching until it can be handed off.
+		e.live--
+		e.current = nil
+		p.recycle()
+		if e.drive(nil) == driveDrained {
+			e.main <- struct{}{}
+		}
 	}()
-	e.schedule(e.now, evStart, nil, p)
-	return p
+	p.body(p)
 }
 
 // yield relinquishes the processor but keeps driving the dispatch loop on

@@ -1,0 +1,120 @@
+package workload
+
+import "nwcache/internal/machine"
+
+// Pipelined decouples op-stream generation from simulation: each thread's
+// application code runs on its own plain goroutine against a recording
+// Ctx (machine.NewRecordingCtx), emitting fixed-size batches of OpEvents
+// into a bounded channel, while the thread's simulation process replays
+// the batches through the real Ctx in the exact order they were
+// generated. On a multicore host the generators (address arithmetic,
+// PRNG draws, loop control) overlap with the single-threaded
+// discrete-event simulation; the -par flag of cmd/nwsim and cmd/nwbench
+// selects this wrapper.
+//
+// Determinism: the recording Ctx seeds its PRNG exactly as Machine.Run
+// would, and replay preserves per-thread program order, so every Ctx
+// method call the machine observes is identical — same arguments, same
+// order, same simulation process — to a direct run. The simulated
+// interleaving across threads is decided by the (serial, deterministic)
+// event engine either way, so a fixed-seed run is byte-identical with
+// and without the wrapper. The soundness premise is that programs are
+// time-oblivious: they never branch on Ctx.Now or Machine state (the
+// recording Ctx panics on both), which holds for the whole built-in
+// suite.
+//
+// The channel is bounded (lookaheadBatches batches of batchOps ops), so
+// a generator runs at most that window ahead of its simulation thread,
+// and batch buffers recycle through a free list — steady-state
+// generation allocates nothing.
+type Pipelined struct {
+	inner machine.Program
+	seed  int64
+}
+
+const (
+	// batchOps is the number of operations per batch: large enough to
+	// amortize channel hand-offs, small enough to keep the replay warm
+	// in cache.
+	batchOps = 256
+	// lookaheadBatches bounds how far ahead of the simulation a
+	// generator may run.
+	lookaheadBatches = 4
+)
+
+// Pipeline wraps prog for parallel op-stream generation. The seed must
+// be the configuration seed the machine runs with (the recording PRNG
+// streams are derived from it exactly as Machine.Run derives them).
+func Pipeline(prog machine.Program, seed int64) *Pipelined {
+	return &Pipelined{inner: prog, seed: seed}
+}
+
+// Name returns the wrapped program's name (reports stay identical).
+func (w *Pipelined) Name() string { return w.inner.Name() }
+
+// DataPages returns the wrapped program's footprint.
+func (w *Pipelined) DataPages() int64 { return w.inner.DataPages() }
+
+// Run generates thread proc's op stream on a dedicated goroutine and
+// replays it through ctx.
+func (w *Pipelined) Run(ctx *machine.Ctx, proc int) {
+	out := make(chan []machine.OpEvent, lookaheadBatches)
+	free := make(chan []machine.OpEvent, lookaheadBatches+1)
+	for i := 0; i < lookaheadBatches+1; i++ {
+		free <- make([]machine.OpEvent, 0, batchOps)
+	}
+	var genPanic any
+	go func() {
+		defer func() {
+			// A panic in application code must surface on the simulation
+			// thread, not kill the process from a bare goroutine; it is
+			// re-raised after the replay loop drains.
+			genPanic = recover()
+			close(out)
+		}()
+		buf := <-free
+		rec := machine.NewRecordingCtx(proc, ctx.Procs(), w.seed, func(ev machine.OpEvent) {
+			buf = append(buf, ev)
+			if len(buf) == cap(buf) {
+				out <- buf
+				buf = (<-free)[:0]
+			}
+		})
+		w.inner.Run(rec, proc)
+		if len(buf) > 0 {
+			out <- buf
+		}
+	}()
+	for batch := range out {
+		for i := range batch {
+			replay(ctx, &batch[i])
+		}
+		select {
+		case free <- batch[:0]:
+		default:
+		}
+	}
+	if genPanic != nil {
+		panic(genPanic)
+	}
+}
+
+// replay applies one recorded operation through the real context.
+func replay(ctx *machine.Ctx, ev *machine.OpEvent) {
+	switch ev.Kind {
+	case machine.OpTouch:
+		ctx.Touch(ev.Page, ev.Sub, ev.Lines, ev.Write)
+	case machine.OpCompute:
+		ctx.Compute(ev.Cycles)
+	case machine.OpBarrier:
+		ctx.Barrier()
+	case machine.OpLockAcquire:
+		ctx.LockAcquire(ev.Lock)
+	case machine.OpLockRelease:
+		ctx.LockRelease(ev.Lock)
+	case machine.OpFileRead:
+		ctx.FileRead(ev.Page, ev.Pages)
+	case machine.OpFileWrite:
+		ctx.FileWrite(ev.Page, ev.Pages)
+	}
+}

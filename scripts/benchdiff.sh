@@ -3,26 +3,132 @@
 # print per-benchmark deltas for time and allocations.
 #
 # Usage: scripts/benchdiff.sh [--warn] [OLD.json] NEW.json
+#        scripts/benchdiff.sh --gate NEW.json
 #
 # When OLD.json is omitted the latest checked-in baseline is used: the
 # highest-numbered BENCH_*.json in the repo root, excluding NEW itself.
 #
 # Benchmarks present in only one file are listed without a delta. Exits
-# non-zero on malformed input, zero otherwise (it reports; it does not
-# judge regressions — CI stays green either way).
+# non-zero on malformed input, zero otherwise (the report does not judge
+# regressions).
 #
 # With --warn, benchmarks whose ns/op regressed by more than
 # BENCHDIFF_THRESHOLD percent (default 15) are additionally flagged as
-# GitHub Actions "::warning::" annotations. Bench noise on shared
-# runners makes a hard gate counterproductive, so the warning is
-# advisory: --warn still always exits 0.
+# GitHub Actions "::warning::" annotations; --warn still always exits 0.
+#
+# With --gate, the script becomes a hard regression gate and EXITS 1 on
+# failure. For every zero-allocation micro-benchmark (allocs/op == 0 in
+# some checked-in baseline) it compares NEW against the BEST (minimum)
+# ns/op that benchmark ever recorded across ALL checked-in BENCH_*.json
+# files, and fails when
+#   - ns/op regressed more than BENCHDIFF_GATE_THRESHOLD percent
+#     (default 10) past the best baseline, or
+#   - the benchmark allocates again (allocs/op > 0).
+# Comparing against the best-ever baseline (not just the latest) is the
+# point: it is how the PR-4/5 micro-benchmark drift slipped through —
+# each snapshot was compared only to its noisy predecessor. End-to-end
+# benchmarks (nonzero allocs) are excluded from the gate; their noise on
+# shared runners makes a hard wall-clock gate counterproductive.
 set -eu
 
 warn=0
-if [ "${1:-}" = "--warn" ]; then
-  warn=1
-  shift
+gate=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+  --warn) warn=1; shift ;;
+  --gate) gate=1; shift ;;
+  *) break ;;
+  esac
+done
+
+# bench.sh emits one record per line; pull the fields back out with awk.
+# Works on both the old plain-array format and the current object format
+# (the "env" header line carries no "name" key, so it is skipped).
+extract() {
+  awk '
+    /"name"/ {
+      line = $0
+      if (match(line, /"name":"[^"]*"/)) {
+        name = substr(line, RSTART + 8, RLENGTH - 9)
+        ns = "null"; allocs = "null"
+        if (match(line, /"ns_per_op":[0-9.e+-]+/))
+          ns = substr(line, RSTART + 12, RLENGTH - 12)
+        if (match(line, /"allocs_per_op":[0-9]+/))
+          allocs = substr(line, RSTART + 16, RLENGTH - 16)
+        print name, ns, allocs
+      }
+    }
+  ' "$1"
+}
+
+if [ "$gate" = 1 ]; then
+  if [ $# -ne 1 ]; then
+    echo "usage: $0 --gate NEW.json" >&2
+    exit 2
+  fi
+  new="$1"
+  repo="$(cd "$(dirname "$0")/.." && pwd)"
+  thr="${BENCHDIFF_GATE_THRESHOLD:-10}"
+  base="${TMPDIR:-/tmp}/benchdiff_base.$$"
+  newx="${TMPDIR:-/tmp}/benchdiff_new.$$"
+  trap 'rm -f "$base" "$newx"' EXIT
+  : > "$base"
+  found=0
+  for f in $(ls "$repo"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+    [ "$f" -ef "$new" ] 2>/dev/null && continue
+    extract "$f" >> "$base"
+    found=1
+  done
+  if [ "$found" = 0 ]; then
+    echo "$0: no baseline BENCH_*.json found in $repo" >&2
+    exit 2
+  fi
+  extract "$new" > "$newx"
+  awk -v basefile="$base" -v thr="$thr" '
+    BEGIN {
+      # Best (minimum) ns/op per benchmark, restricted to records where
+      # the benchmark ran allocation-free: once a bench has hit zero
+      # allocs in any checked-in baseline, it is gated forever.
+      while ((getline line < basefile) > 0) {
+        split(line, f, " ")
+        if (f[3] + 0 == 0 && f[3] != "null") {
+          zero[f[1]] = 1
+          if (!(f[1] in best) || f[2] + 0 < best[f[1]])
+            best[f[1]] = f[2] + 0
+        }
+      }
+      close(basefile)
+      fail = 0
+    }
+    {
+      name = $1; nns = $2 + 0; nal = $3
+      if (!(name in zero)) next
+      checked++
+      if (nal + 0 > 0) {
+        printf "::error title=bench gate::%s allocates again (%s allocs/op; baseline is allocation-free)\n", name, nal
+        fail = 1
+      }
+      pct = 100 * (nns - best[name]) / best[name]
+      if (pct > thr) {
+        printf "::error title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g -> %.4g, gate %s%%)\n",
+          name, pct, best[name], nns, thr
+        fail = 1
+      } else {
+        printf "gate ok: %-34s %10.4g ns/op vs best %10.4g (%+.1f%%, gate %s%%)\n",
+          name, nns, best[name], pct, thr
+      }
+    }
+    END {
+      if (checked == 0) {
+        print "::error title=bench gate::no gated benchmarks found in new snapshot"
+        fail = 1
+      }
+      exit fail
+    }
+  ' "$newx"
+  exit $?
 fi
+
 case $# in
 2)
   old="$1"
@@ -50,24 +156,6 @@ case $# in
   ;;
 esac
 threshold="${BENCHDIFF_THRESHOLD:-15}"
-
-# bench.sh emits one record per line; pull the fields back out with awk.
-extract() {
-  awk '
-    /"name"/ {
-      line = $0
-      if (match(line, /"name":"[^"]*"/)) {
-        name = substr(line, RSTART + 8, RLENGTH - 9)
-        ns = "null"; allocs = "null"
-        if (match(line, /"ns_per_op":[0-9.e+-]+/))
-          ns = substr(line, RSTART + 12, RLENGTH - 12)
-        if (match(line, /"allocs_per_op":[0-9]+/))
-          allocs = substr(line, RSTART + 16, RLENGTH - 16)
-        print name, ns, allocs
-      }
-    }
-  ' "$1"
-}
 
 extract "$old" > "${TMPDIR:-/tmp}/benchdiff_old.$$"
 extract "$new" > "${TMPDIR:-/tmp}/benchdiff_new.$$"
