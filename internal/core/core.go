@@ -137,6 +137,15 @@ func NewMachine(cfg Config, kind Kind, mode PrefetchMode) (*machine.Machine, err
 	return machine.New(cfg, kind, mode)
 }
 
+// NewPDESMachine builds a machine for windowed PDES execution on a shard
+// group of the given width (the -pdes N path). Results are byte-identical
+// to NewMachine for every configuration and fault plan; see
+// machine.NewPDES for the lookahead derivation that decides the
+// node→shard mapping.
+func NewPDESMachine(cfg Config, kind Kind, mode PrefetchMode, shards int) (*machine.Machine, error) {
+	return machine.NewPDES(cfg, kind, mode, shards)
+}
+
 // Cell identifies one simulation of the evaluation space completely: a
 // built-in application, a machine kind, a prefetch mode, the full
 // configuration, and any ablation switches. Cells are the unit of
@@ -172,6 +181,14 @@ type Cell struct {
 	// purpose: a parallel run is byte-identical to a serial one, so
 	// either may serve a memoized request for the other.
 	Par bool `json:"-"`
+
+	// Pdes, when >= 1, runs the cell under windowed PDES execution on a
+	// shard group of that width (machine.NewPDES; composes with Par —
+	// generation pipelining and engine sharding are independent layers).
+	// Excluded from Key for the same reason as Par: a PDES run is
+	// byte-identical to a serial one by construction, so either may
+	// serve a memoized request for the other.
+	Pdes int `json:"-"`
 }
 
 // Run executes the cell on a fresh machine.
@@ -187,7 +204,12 @@ func (c Cell) Run() (*Result, error) {
 	if c.RRDrain {
 		kind = NWCache
 	}
-	m, err := machine.New(c.Cfg, kind, c.Mode)
+	var m *machine.Machine
+	if c.Pdes >= 1 {
+		m, err = machine.NewPDES(c.Cfg, kind, c.Mode, c.Pdes)
+	} else {
+		m, err = machine.New(c.Cfg, kind, c.Mode)
+	}
 	if err != nil {
 		return nil, err
 	}

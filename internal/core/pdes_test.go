@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nwcache/internal/machine"
+	"nwcache/internal/obs"
+)
+
+// runCell executes a cell and fails the test on error.
+func runCell(t *testing.T, c Cell) *Result {
+	t.Helper()
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", c.Label(), err)
+	}
+	return res
+}
+
+// requireSame asserts two results are deep-equal (every counter, every
+// breakdown, every histogram bucket — the Result is plain data, so
+// DeepEqual is the strongest equality available short of rendered bytes,
+// which scripts/golden.sh checks at the CLI layer).
+func requireSame(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: PDES result differs from serial:\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestPDESMatchesSerialAllApps: every built-in application, serial vs
+// -pdes 2..8, identical Results; em3d additionally across three seeds
+// and the Standard machine kind.
+func TestPDESMatchesSerialAllApps(t *testing.T) {
+	for _, app := range Apps() {
+		base := Cell{App: app, Kind: NWCache, Mode: Optimal, Cfg: fastCfg()}
+		want := runCell(t, base)
+		for _, k := range []int{2, 8} {
+			c := base
+			c.Pdes = k
+			requireSame(t, c.Label(), runCell(t, c), want)
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := fastCfg()
+		cfg.Seed = seed
+		for _, kind := range []Kind{NWCache, Standard} {
+			base := Cell{App: "em3d", Kind: kind, Mode: Naive, Cfg: cfg}
+			want := runCell(t, base)
+			for _, k := range []int{2, 4, 8} {
+				c := base
+				c.Pdes = k
+				requireSame(t, c.Label(), runCell(t, c), want)
+			}
+		}
+	}
+}
+
+// TestPDESMatchesSerialFaulted: the fault-injection path (plan parsing,
+// injector PRNG stream, recovery accounting) under windowed execution.
+func TestPDESMatchesSerialFaulted(t *testing.T) {
+	base := faultCell()
+	want := runCell(t, base)
+	if want.FaultStats == nil {
+		t.Fatal("fault cell produced no fault stats; test is vacuous")
+	}
+	for _, k := range []int{2, 4, 8} {
+		c := base
+		c.Pdes = k
+		got := runCell(t, c)
+		requireSame(t, c.Label(), got, want)
+		if got.FaultSummary != want.FaultSummary {
+			t.Fatalf("pdes=%d: fault summary drifted", k)
+		}
+	}
+}
+
+// TestPDESMatchesSerialTelemetry: a sampled run's metric snapshot and
+// NDJSON series bytes are identical under PDES — windowed execution may
+// not perturb when the sampler ticks or what it sees.
+func TestPDESMatchesSerialTelemetry(t *testing.T) {
+	run := func(pdes int) (*Result, obs.Snapshot, []byte) {
+		var reg *obs.Registry
+		var sampler *obs.Sampler
+		c := Cell{App: "em3d", Kind: NWCache, Mode: Optimal, Cfg: fastCfg(), Pdes: pdes,
+			Obs: func(_ Cell, m *machine.Machine) {
+				reg = obs.NewRegistry()
+				m.Observe(reg, nil)
+				sampler = obs.NewSampler(reg, 50_000, 0)
+				m.StartSampler(sampler)
+			}}
+		res := runCell(t, c)
+		if sampler == nil || sampler.Len() == 0 {
+			t.Fatal("sampler never attached or recorded nothing")
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteSeriesNDJSON(&buf, sampler.Export("pdes-test")); err != nil {
+			t.Fatal(err)
+		}
+		return res, reg.Snapshot(), buf.Bytes()
+	}
+	wantRes, wantSnap, wantSeries := run(0)
+	for _, k := range []int{2, 8} {
+		res, snap, series := run(k)
+		requireSame(t, "telemetry", res, wantRes)
+		if !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("pdes=%d: metric snapshot differs from serial", k)
+		}
+		if !bytes.Equal(series, wantSeries) {
+			t.Fatalf("pdes=%d: NDJSON series differs from serial", k)
+		}
+	}
+}
+
+// TestPDESComposesWithPar: the two parallel layers together (pipelined
+// op-stream generation feeding a windowed engine) still match serial.
+func TestPDESComposesWithPar(t *testing.T) {
+	base := Cell{App: "gauss", Kind: NWCache, Mode: Optimal, Cfg: fastCfg()}
+	want := runCell(t, base)
+	c := base
+	c.Par = true
+	c.Pdes = 4
+	requireSame(t, c.Label(), runCell(t, c), want)
+}
+
+// TestPDESKeyGating: Pdes, like Par and Obs, must not change a cell's
+// memoization key — a PDES result may serve a serial request and vice
+// versa.
+func TestPDESKeyGating(t *testing.T) {
+	a := Cell{App: "lu", Kind: NWCache, Mode: Optimal, Cfg: fastCfg()}
+	b := a
+	b.Pdes = 8
+	b.Par = true
+	if a.Key() != b.Key() {
+		t.Fatal("Pdes/Par changed the memoization key")
+	}
+}

@@ -1,0 +1,205 @@
+// PDES integration: conservative-lookahead parallel execution of the
+// machine model (sim.ShardGroup), plus the lookahead derivation that
+// decides how the model's cross-node interactions may be sharded.
+//
+// The derivation is the honest core of this file. Conservative PDES can
+// only cut the simulation between two nodes if every way one can affect
+// the other has a positive latency floor — the lookahead. The machine's
+// cross-node interactions fall into two groups:
+//
+// Message classes (positive floor — these travel as scheduled events):
+//
+//   - mesh control messages (disk OKs, ring ACKs, interface
+//     notify/cancel): Mesh.MinTransit(CtrlMsgLen)
+//   - mesh page transfers (remote memory copies, swap-outs to the disk
+//     controller): Mesh.MinTransit(PageSize)
+//   - the disk NACK→OK round trip: two control transits around the
+//     controller's firmware overhead (Disk.MinServiceLatency)
+//   - optical insertion: the channel-rate page transfer a node pays
+//     before its swap-out exists ring-wide (Ring.CrossNodeFloors)
+//
+// Coupling classes (zero floor — these are shared memory read and
+// written within one simulated instant):
+//
+//   - the page table: Ctx.Touch resolves any VPN through vm.Table
+//     synchronously, wherever the frame lives
+//   - the coherence directory: a write orders invalidations into remote
+//     cache filters in the same instant (Directory.CrossNodeLatencyFloor)
+//   - ring entry state: victim reads snoop Channel.Entries directly
+//     (Ring.CrossNodeFloors' snoop component)
+//   - application synchronization: sim.Barrier/Mutex wake cross-node
+//     waiters at the releasing instant
+//   - fault injection: plan events mutate global substrate state
+//     (Injector.CrossShardFloor)
+//
+// The group lookahead is the minimum positive message floor; the
+// coupling floor is zero whenever any coupling class exists — and in
+// this model they all do. NodeShard draws the only sound conclusion:
+// every node lands on shard 0. A -pdes run therefore executes the whole
+// model inside the shard group's sequential-fallback window — byte-
+// identical to serial by construction, at serial speed — and the
+// derivation's class table (exported, unit-tested, documented in
+// MODEL.md) is the machine-checked record of exactly which couplings a
+// future decoupled model would have to convert into message classes
+// before real node-parallelism becomes sound.
+package machine
+
+import (
+	"fmt"
+
+	"nwcache/internal/disk"
+	"nwcache/internal/mesh"
+	"nwcache/internal/optical"
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+)
+
+// CrossClass is one class of cross-node interaction and its latency
+// floor: the minimum pcycles between the cause on one node and the
+// earliest observable effect on another. A zero floor means the
+// interaction is synchronous shared state — conservative windows cannot
+// cut between nodes it couples.
+type CrossClass struct {
+	Name  string   // stable identifier ("mesh.ctrl", "vm.pagetable", ...)
+	Floor sim.Time // pcycles; 0 = synchronous coupling
+	Desc  string   // one-line description for reports and MODEL.md
+}
+
+// Lookahead is the full PDES derivation for one configuration.
+type Lookahead struct {
+	Classes []CrossClass
+
+	// MessageFloor is the minimum positive floor: the widest window the
+	// message classes alone would permit, and the width ShardGroup
+	// windows actually use.
+	MessageFloor sim.Time
+
+	// CouplingFloor is the minimum over ALL classes. Zero whenever any
+	// synchronous coupling class exists; only a model whose every
+	// cross-node interaction is a message could raise it above zero.
+	CouplingFloor sim.Time
+}
+
+// DeriveLookahead computes the class table for cfg by probing the real
+// substrate constructors (a throwaway engine, mesh, ring, and disk built
+// from cfg), so every floor is read out of the same code that charges
+// the latency at run time and cannot silently drift from it.
+func DeriveLookahead(cfg param.Config) (Lookahead, error) {
+	if err := cfg.Validate(); err != nil {
+		return Lookahead{}, err
+	}
+	e := sim.New()
+	pm := mesh.New(e, cfg)
+	pr := optical.New(e, cfg)
+	pd := disk.New(e, "probe", cfg, disk.Naive)
+	ctrl := pm.MinTransit(cfg.CtrlMsgLen)
+	page := pm.MinTransit(cfg.PageSize)
+	insert, snoop := pr.CrossNodeFloors()
+	la := Lookahead{Classes: []CrossClass{
+		{"mesh.ctrl", ctrl,
+			"control message across the mesh (disk OK, ring ACK, iface notify/cancel)"},
+		{"mesh.page", page,
+			"page transfer across the mesh (remote copy, swap-out to controller)"},
+		{"disk.nack-ok", 2*ctrl + pd.MinServiceLatency(),
+			"NACKed swap-out round trip: NACK transit + controller firmware + OK transit"},
+		{"optical.insert", insert,
+			"channel-rate page insertion before a swap-out exists ring-wide"},
+		{"vm.pagetable", 0,
+			"page-table resolution: any node reads any PTE in the faulting instant"},
+		{"coherence.dir", 0,
+			"directory write orders same-instant invalidations into remote cache filters"},
+		{"optical.snoop", 0,
+			"victim read snoops ring entry state directly (shared memory, not a message)"},
+		{"sync.barrier-lock", 0,
+			"application barriers/locks wake cross-node waiters at the releasing instant"},
+		{"fault.inject", 0,
+			"plan injections mutate global mesh/ring/disk state at their instants"},
+	}}
+	for _, c := range la.Classes {
+		if c.Floor > 0 && (la.MessageFloor == 0 || c.Floor < la.MessageFloor) {
+			la.MessageFloor = c.Floor
+		}
+	}
+	la.CouplingFloor = la.MessageFloor
+	for _, c := range la.Classes {
+		if c.Floor < la.CouplingFloor {
+			la.CouplingFloor = c.Floor
+		}
+	}
+	if la.MessageFloor <= 0 {
+		return Lookahead{}, fmt.Errorf("machine: lookahead derivation found no positive message floor (degenerate config)")
+	}
+	if snoop != 0 {
+		// The ring's snoop coupling turning nonzero would change the
+		// sharding conclusion; surface it instead of silently pinning.
+		return Lookahead{}, fmt.Errorf("machine: ring snoop floor %d: derivation out of date with optical model", snoop)
+	}
+	return la, nil
+}
+
+// Class returns the named class (and whether it exists).
+func (l Lookahead) Class(name string) (CrossClass, bool) {
+	for _, c := range l.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return CrossClass{}, false
+}
+
+// NodeShard maps a node to its PDES shard. With a zero coupling floor —
+// the current model, see the package comment — every node must share
+// shard 0: splitting coupled nodes across shards would either deadlock
+// the conservative windows (lookahead 0 admits no window) or silently
+// break byte-identity. A future model whose couplings are all messages
+// would distribute node%shards here.
+func (l Lookahead) NodeShard(node, shards int) int {
+	if l.CouplingFloor <= 0 {
+		return 0
+	}
+	return node % shards
+}
+
+// NewPDES builds a machine for windowed parallel execution on a shard
+// group of the given width. The machine's engine is the shard that
+// NodeShard assigns node 0 — under the current derivation, the shard
+// every node shares — and Run drives the group's window scheduler
+// instead of the engine directly. Results are byte-identical to New +
+// Run for every configuration, fault plan, and observer; see
+// TestPDESMatchesSerial* in internal/core.
+func NewPDES(cfg param.Config, kind Kind, mode disk.PrefetchMode, shards int) (*Machine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("machine: NewPDES shards=%d must be >= 1", shards)
+	}
+	la, err := DeriveLookahead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := sim.NewShardGroup(shards, la.MessageFloor)
+	m, err := newOn(g.Shard(la.NodeShard(0, shards)), cfg, kind, mode)
+	if err != nil {
+		return nil, err
+	}
+	m.pdes = g
+	m.la = &la
+	return m, nil
+}
+
+// PDES returns the machine's shard group (nil when built with New): the
+// window/post statistics are readable after Run.
+func (m *Machine) PDES() *sim.ShardGroup { return m.pdes }
+
+// LookaheadDerivation returns the derivation NewPDES sized the machine's
+// windows with (nil when built with New).
+func (m *Machine) LookaheadDerivation() *Lookahead { return m.la }
+
+// runEngine executes the machine's event space to completion: the shard
+// group's window scheduler when the machine was built with NewPDES, the
+// plain engine otherwise. The serial path stays exactly E.Run() — one
+// nil check here is the entire cost of the feature when disabled.
+func (m *Machine) runEngine() error {
+	if m.pdes != nil {
+		return m.pdes.Run()
+	}
+	return m.E.Run()
+}

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"nwcache/internal/coherence"
+	"nwcache/internal/disk"
+	"nwcache/internal/fault"
+	"nwcache/internal/optical"
+	"nwcache/internal/param"
+	"nwcache/internal/sim"
+)
+
+// TestDeriveLookaheadFloors is the lookahead-floor guard: it recomputes
+// every message-class floor from the Table 1 parameters by the
+// substrate's own arithmetic and fails if any cross-node latency in
+// internal/param drops below what the derivation claims. A failure here
+// means someone changed a latency parameter (or a transit formula) in a
+// way that would let a message arrive inside a PDES window that was
+// sized assuming it could not.
+func TestDeriveLookaheadFloors(t *testing.T) {
+	cfg := param.Default()
+	la, err := DeriveLookahead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mesh control transit is, by construction of Table 1, the
+	// smallest cross-node message latency: one hop between adjacent
+	// nodes plus the 64-byte control transfer.
+	wantCtrl := 2*cfg.HopLatency + param.TransferPcycles(int64(cfg.CtrlMsgLen), cfg.NetMBs)
+	ctrl, ok := la.Class("mesh.ctrl")
+	if !ok || ctrl.Floor != wantCtrl {
+		t.Fatalf("mesh.ctrl floor %d, want %d (2 hop latencies + ctrl transfer)", ctrl.Floor, wantCtrl)
+	}
+	if la.MessageFloor != wantCtrl {
+		t.Fatalf("MessageFloor %d, want the mesh control transit %d", la.MessageFloor, wantCtrl)
+	}
+
+	// Every message class must sit at or above the floor the windows
+	// are sized with; any param drop below it breaks the conservative
+	// protocol.
+	for _, c := range la.Classes {
+		if c.Floor > 0 && c.Floor < la.MessageFloor {
+			t.Errorf("class %s floor %d dropped below the window lookahead %d", c.Name, c.Floor, la.MessageFloor)
+		}
+	}
+
+	// Cross-checks against the other substrate formulas.
+	if pg, _ := la.Class("mesh.page"); pg.Floor != 2*cfg.HopLatency+cfg.PageNetTime() {
+		t.Errorf("mesh.page floor %d, want %d", pg.Floor, 2*cfg.HopLatency+cfg.PageNetTime())
+	}
+	if nk, _ := la.Class("disk.nack-ok"); nk.Floor != 2*wantCtrl+cfg.CtrlOverhead {
+		t.Errorf("disk.nack-ok floor %d, want %d", nk.Floor, 2*wantCtrl+cfg.CtrlOverhead)
+	}
+	if in, _ := la.Class("optical.insert"); in.Floor != cfg.PageRingTime() {
+		t.Errorf("optical.insert floor %d, want %d", in.Floor, cfg.PageRingTime())
+	}
+
+	// The coupling classes are the reason the model pins: each must be
+	// present, at zero, and agree with the substrate's own declaration.
+	if la.CouplingFloor != 0 {
+		t.Fatalf("CouplingFloor %d, want 0: the model's shared-state couplings did not go away", la.CouplingFloor)
+	}
+	for _, name := range []string{"vm.pagetable", "coherence.dir", "optical.snoop", "sync.barrier-lock", "fault.inject"} {
+		c, ok := la.Class(name)
+		if !ok {
+			t.Fatalf("coupling class %s missing from derivation", name)
+		}
+		if c.Floor != 0 {
+			t.Errorf("coupling class %s floor %d, want 0", name, c.Floor)
+		}
+	}
+	if f := coherence.NewDirectory().CrossNodeLatencyFloor(); f != 0 {
+		t.Errorf("directory declares cross-node floor %d; derivation assumes 0", f)
+	}
+	if f := fault.NewInjector(nil, 1, fault.Aggressive).CrossShardFloor(); f != 0 {
+		t.Errorf("injector declares cross-shard floor %d; derivation assumes 0", f)
+	}
+	if _, snoop := optical.New(sim.New(), cfg).CrossNodeFloors(); snoop != 0 {
+		t.Errorf("ring declares snoop floor %d; derivation assumes 0", snoop)
+	}
+
+	// And the sharding conclusion those zeros force: every node on
+	// shard 0, at every group width.
+	for shards := 1; shards <= 8; shards++ {
+		for node := 0; node < cfg.Nodes; node++ {
+			if s := la.NodeShard(node, shards); s != 0 {
+				t.Fatalf("NodeShard(%d, %d) = %d: zero coupling floor must pin all nodes to shard 0", node, shards, s)
+			}
+		}
+	}
+}
+
+// TestNewPDESMatchesNew runs the same pressured program on a machine
+// built each way and requires identical Results — the machine-level
+// core of the byte-identity contract.
+func TestNewPDESMatchesNew(t *testing.T) {
+	prog := func() Program {
+		return &testProg{name: "pdes-sweep", pages: 32, fn: func(ctx *Ctx, proc int) {
+			for rep := 0; rep < 3; rep++ {
+				for pg := PageID(0); pg < 32; pg++ {
+					ctx.Read(pg, 0, 4)
+					ctx.Write(pg, 0, 4)
+				}
+				ctx.Barrier()
+			}
+		}}
+	}
+	serial, err := New(smallCfg(), NWCache, disk.Optimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Run(prog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		m, err := NewPDES(smallCfg(), NWCache, disk.Optimal, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PDES() == nil || m.PDES().Shards() != shards {
+			t.Fatalf("shards=%d: machine not on a %d-shard group", shards, shards)
+		}
+		got, err := m.Run(prog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: PDES result differs from serial:\n got %+v\nwant %+v", shards, got, want)
+		}
+		// The whole model is pinned, so the run must have executed as
+		// sequential-fallback windows with zero cross-shard traffic.
+		if g := m.PDES(); g.Posted() != 0 || g.SeqWindows() != g.Windows() {
+			t.Fatalf("shards=%d: pinned run used %d windows (%d sequential), %d posts",
+				shards, g.Windows(), g.SeqWindows(), g.Posted())
+		}
+	}
+}
+
+// TestNewPDESRejectsBadWidth pins the constructor's validation.
+func TestNewPDESRejectsBadWidth(t *testing.T) {
+	if _, err := NewPDES(smallCfg(), NWCache, disk.Optimal, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+}

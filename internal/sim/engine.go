@@ -122,6 +122,14 @@ type Engine struct {
 	tickEvery Time
 	nextTick  Time
 	tickFn    func(now Time)
+
+	// horizon bounds dispatch for RunUntil (the PDES window protocol):
+	// nextInstant refuses to advance the clock to any instant >= horizon,
+	// leaving the event intact for a later window. Outside a window the
+	// sentinel `never` keeps the check one always-false compare per
+	// distinct timestamp (the same cost class as the tick boundary), so
+	// serial runs pay nothing for the feature.
+	horizon Time
 }
 
 // New returns an empty engine at time 0.
@@ -134,6 +142,7 @@ func New() *Engine {
 		back:     make(chan struct{}, 1),
 		stopAt:   noLimit,
 		nextTick: never,
+		horizon:  never,
 	}
 }
 
@@ -275,9 +284,15 @@ func (e *Engine) nextInstant() *event {
 	if len(e.heap) == 0 {
 		return nil
 	}
+	t := e.heap[0].t
+	if t >= e.horizon {
+		// RunUntil window boundary: the next instant is outside the
+		// current window. Leave the event queued and the clock where it
+		// is; the next window's RunUntil resumes from here.
+		return nil
+	}
 	e.ready = e.ready[:0]
 	e.readyHead = 0
-	t := e.heap[0].t
 	if t < e.now {
 		panic("sim: event queue returned event in the past")
 	}
@@ -540,22 +555,68 @@ func (e *Engine) Run() error {
 		<-e.main
 	}
 	if e.tripped {
-		blocked, _ := e.blockedProcs()
-		lerr := &LivelockError{Now: e.now, Dispatched: e.dispatched, Blocked: blocked}
-		// Teardown: drop the still-growing event storm (re-parking procs
-		// whose wakes are discarded), then unwind everything without a
-		// budget — KillParked must be able to finish.
-		e.stopAt = noLimit
-		e.tripped = false
-		e.clearPending()
-		e.KillParked()
-		return lerr
+		return e.livelockTeardown()
 	}
 	if e.stopped {
 		// Halted explicitly: leave remaining events and parked processes in
 		// place so the caller can resume with another Run.
 		return nil
 	}
+	return e.finishDrained()
+}
+
+// RunUntil dispatches events in order until the first instant at or past
+// horizon (which stays queued), the queues drain, or Stop is called. Unlike
+// Run it performs no deadlock accounting on drain: processes left parked
+// may legitimately be waiting for events another PDES shard will post into
+// a later window. The engine stays fully resumable — call RunUntil again
+// (or Run for the deadlock-checked final drain). A horizon of MaxInt64
+// dispatches everything, still without the drain-time deadlock check. The
+// livelock guard (SetEventLimit) applies as in Run.
+func (e *Engine) RunUntil(horizon Time) error {
+	e.horizon = horizon
+	e.stopped = false
+	e.tripped = false
+	if e.drive(nil) == driveHanded {
+		<-e.main
+	}
+	e.horizon = never
+	if e.tripped {
+		return e.livelockTeardown()
+	}
+	return nil
+}
+
+// limitHorizon tightens the active RunUntil horizon from inside a running
+// event. The PDES sequential-fallback window uses it: an outward
+// cross-shard post invalidates the "nothing can reach this shard" premise
+// the unbounded window was opened on, so the window must close before the
+// earliest possible reply.
+func (e *Engine) limitHorizon(t Time) {
+	if t < e.horizon {
+		e.horizon = t
+	}
+}
+
+// livelockTeardown turns a tripped event budget into a *LivelockError and
+// unwinds the engine completely.
+func (e *Engine) livelockTeardown() error {
+	blocked, _ := e.blockedProcs()
+	lerr := &LivelockError{Now: e.now, Dispatched: e.dispatched, Blocked: blocked}
+	// Teardown: drop the still-growing event storm (re-parking procs
+	// whose wakes are discarded), then unwind everything without a
+	// budget — KillParked must be able to finish.
+	e.stopAt = noLimit
+	e.tripped = false
+	e.clearPending()
+	e.KillParked()
+	return lerr
+}
+
+// finishDrained is Run's drain-time tail: report parked non-daemon
+// processes as a deadlock and unwind everything. Also used by the PDES
+// window scheduler once every shard's queues and inboxes are empty.
+func (e *Engine) finishDrained() error {
 	blocked, daemons := e.blockedProcs()
 	e.KillParked()
 	if len(blocked) > 0 {
@@ -566,6 +627,21 @@ func (e *Engine) Run() error {
 		return &DeadlockError{Now: e.now, Procs: stuck, Blocked: blocked, DaemonsParked: daemons}
 	}
 	return nil
+}
+
+// NextEventTime reports the timestamp of the earliest queued event and
+// whether one exists. Between RunUntil windows the ready FIFO is fully
+// consumed, so the heap top is the answer. Canceled-but-undrained slots
+// count (dispatch discards them without effects), which only ever makes a
+// PDES window conservative, never wrong.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.readyHead < len(e.ready) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].t, true
+	}
+	return 0, false
 }
 
 // clearPending discards every event still queued. A process whose wake or

@@ -1,0 +1,319 @@
+// Conservative-lookahead parallel discrete-event simulation (PDES).
+//
+// A ShardGroup partitions a simulation into k sub-engines ("shards"), each
+// a full *Engine owning its own clock, heap, ready FIFO, processes, and
+// resources. Shards execute concurrently inside safe time windows
+//
+//	[T, T+L)   where T = min next-event time across shards,
+//	           L = the group's static lookahead,
+//
+// separated by lightweight barrier epochs. The protocol is conservative:
+// a shard may influence another only by posting a cross-shard event with
+// Post, and a post made during a window must land at or after the window's
+// end. Because every event a shard could dispatch inside [T, T+L) is
+// already queued when the window opens, each shard's window execution is a
+// pure function of its own state plus its (deterministically ordered)
+// inbound queue — so the interleaving of shard goroutines is free to vary
+// while results never do.
+//
+// Determinism (proof sketch, by induction on barrier epochs): at epoch 0
+// every shard's state is the caller's deterministic setup. Assume all
+// shard states and inbound queues are deterministic at epoch n. The
+// coordinator merges each shard's inbound queue in (time, source shard,
+// source sequence) order — a total order over cross-shard events computed
+// from deterministic values — and each shard then dispatches its window
+// serially in its engine's (time, seq) order. The lookahead rule
+// guarantees no event relevant to the open window can be created during
+// it, so each shard's epoch-n execution depends only on epoch-n state.
+// Every post it makes is tagged with the source's monotone sequence
+// counter, so the epoch-n+1 inbound queues are deterministic too. ∎
+//
+// When exactly one shard has pending events and every inbound queue is
+// empty, the coordinator runs that shard inline with an unbounded window
+// (the sequential fallback): no goroutines, no barrier, no lookahead
+// slicing. A fully pinned simulation — every event on one shard, the
+// honest classification for models with zero-latency cross-shard
+// couplings — therefore executes in a single window at serial speed.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// crossEvent is one cross-shard posting: fn scheduled at t on the target,
+// tagged with the posting shard's monotone sequence number so inbound
+// merges are totally ordered.
+type crossEvent struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// shard is one sub-engine plus its inbound queues.
+type shard struct {
+	eng *Engine
+	id  int
+	// inbox[src] holds events posted by shard src since the last barrier.
+	// Each slot has exactly one writer (shard src's goroutine during a
+	// window, or the caller before Run), so posting needs no locks; the
+	// window barrier publishes the appends to the coordinator.
+	inbox   [][]crossEvent
+	postSeq uint64 // sequence counter for posts *made by* this shard
+	err     error  // window execution error (livelock)
+}
+
+// ShardGroup coordinates k sub-engines through the windowed protocol.
+type ShardGroup struct {
+	shards    []*shard
+	lookahead Time
+
+	// windowEnd is the open window's exclusive upper bound, read by
+	// shard goroutines validating posts. seqWindow marks a sequential-
+	// fallback window, whose posts are bound by delivery-time checks
+	// instead (no other shard is running, so any future-time post is
+	// safe). Both are written only between barriers.
+	windowEnd Time
+	seqWindow bool
+	running   bool
+
+	// Statistics (read after Run; maintained by the coordinator only).
+	windows    uint64 // barrier epochs executed
+	seqWindows uint64 // of which sequential-fallback (unbounded) windows
+	posted     uint64 // cross-shard events delivered
+	inboxPeak  int    // largest single-barrier inbound merge
+}
+
+// NewShardGroup returns a group of k empty shards with the given static
+// lookahead. The lookahead must be positive: it is the guarantee that no
+// shard can affect another sooner than L pcycles ahead, and the window
+// width that guarantee buys.
+func NewShardGroup(k int, lookahead Time) *ShardGroup {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: NewShardGroup k=%d must be >= 1", k))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewShardGroup lookahead=%d must be positive", lookahead))
+	}
+	g := &ShardGroup{lookahead: lookahead}
+	for i := 0; i < k; i++ {
+		g.shards = append(g.shards, &shard{
+			eng:   New(),
+			id:    i,
+			inbox: make([][]crossEvent, k),
+		})
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Lookahead returns the group's static lookahead.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Shard returns shard i's engine. Before Run it may be used freely
+// (spawning processes, scheduling setup events). During Run it must only
+// be touched from within that shard's own events and processes.
+func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i].eng }
+
+// Post schedules fn at absolute time t on shard `to`, from shard `from`.
+// This is the only legal way for one shard to influence another. During a
+// bounded window the conservative rule applies: t must be at or past the
+// window's end (posts travel at least one full lookahead into the
+// future); violating it panics, because it would let results depend on
+// goroutine interleaving. Posts are delivered at the next barrier, merged
+// in (time, source shard, source sequence) order.
+func (g *ShardGroup) Post(from, to int, t Time, fn func()) {
+	if from == to {
+		panic("sim: Post within a shard; use the shard engine's At/After")
+	}
+	src := g.shards[from]
+	if g.running && !g.seqWindow && t < g.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: lookahead violation: shard %d posted to shard %d at t=%d inside window ending %d (lookahead %d)",
+			from, to, t, g.windowEnd, g.lookahead))
+	}
+	if g.running && g.seqWindow {
+		// The fallback shard is running unbounded on the premise that no
+		// other shard can post into it. This post wakes shard `to`, whose
+		// earliest possible reply lands at t+lookahead — so the running
+		// shard must not advance past that instant. Capping its horizon
+		// ends the fallback window there; the coordinator re-plans.
+		src.eng.limitHorizon(t + g.lookahead)
+	}
+	src.postSeq++
+	dst := g.shards[to]
+	dst.inbox[from] = append(dst.inbox[from], crossEvent{t: t, seq: src.postSeq, fn: fn})
+}
+
+// Windows reports the number of barrier epochs Run executed.
+func (g *ShardGroup) Windows() uint64 { return g.windows }
+
+// SeqWindows reports how many of the windows ran in sequential fallback
+// (exactly one shard had work, so it ran unbounded with no barrier cost).
+func (g *ShardGroup) SeqWindows() uint64 { return g.seqWindows }
+
+// Posted reports the number of cross-shard events delivered.
+func (g *ShardGroup) Posted() uint64 { return g.posted }
+
+// InboxPeak reports the largest single-barrier inbound merge.
+func (g *ShardGroup) InboxPeak() int { return g.inboxPeak }
+
+// mergeInboxes delivers every pending cross-shard event into its target
+// engine, in (time, source shard, source sequence) order per target.
+// Called by the coordinator only, between windows (all shards quiescent).
+func (g *ShardGroup) mergeInboxes() {
+	for _, dst := range g.shards {
+		n := 0
+		for _, q := range dst.inbox {
+			n += len(q)
+		}
+		if n == 0 {
+			continue
+		}
+		merged := make([]crossEvent, 0, n)
+		srcOf := make([]int, 0, n)
+		for src, q := range dst.inbox {
+			for _, ce := range q {
+				merged = append(merged, ce)
+				srcOf = append(srcOf, src)
+			}
+			dst.inbox[src] = q[:0]
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ea, eb := merged[idx[a]], merged[idx[b]]
+			if ea.t != eb.t {
+				return ea.t < eb.t
+			}
+			if srcOf[idx[a]] != srcOf[idx[b]] {
+				return srcOf[idx[a]] < srcOf[idx[b]]
+			}
+			return ea.seq < eb.seq
+		})
+		for _, i := range idx {
+			ce := merged[i]
+			if now := dst.eng.Now(); ce.t < now {
+				panic(fmt.Sprintf(
+					"sim: lookahead violation: cross-shard event for shard %d at t=%d delivered after its clock reached %d",
+					dst.id, ce.t, now))
+			}
+			dst.eng.At(ce.t, ce.fn)
+		}
+		g.posted += uint64(n)
+		if n > g.inboxPeak {
+			g.inboxPeak = n
+		}
+	}
+}
+
+// Run executes the group to completion: windows of concurrent shard
+// execution separated by barrier epochs, until every shard's queues and
+// every inbound queue are empty. On the final drain each shard receives
+// the same deadlock accounting as Engine.Run (parked non-daemon processes
+// are an error; daemons and pooled shells are unwound silently); the
+// lowest-numbered shard's error is returned. A shard aborted by its
+// livelock guard aborts the whole group.
+func (g *ShardGroup) Run() error {
+	g.running = true
+	defer func() { g.running = false }()
+	for {
+		g.mergeInboxes()
+
+		// Find the shards with work and the earliest pending instant.
+		var (
+			earliest Time
+			any      bool
+			active   []*shard
+		)
+		for _, sh := range g.shards {
+			t, ok := sh.eng.NextEventTime()
+			if !ok {
+				continue
+			}
+			active = append(active, sh)
+			if !any || t < earliest {
+				earliest, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+
+		if len(active) == 1 {
+			// Sequential fallback: nothing can post into this shard while
+			// it runs (no other shard has events), so it may run
+			// unbounded. Posts it makes outward are delivered at the next
+			// merge above. This is what makes a fully pinned model run at
+			// serial speed: one window, zero barriers.
+			g.seqWindow = true
+			sh := active[0]
+			err := sh.eng.RunUntil(never)
+			g.seqWindow = false
+			g.windows++
+			g.seqWindows++
+			if err != nil {
+				g.abort(sh, err)
+				return err
+			}
+			continue
+		}
+
+		// Bounded window [earliest, earliest+lookahead): run every shard
+		// with events inside it concurrently, then barrier.
+		end := earliest + g.lookahead
+		if end < earliest { // overflow guard at the far end of time
+			end = never
+		}
+		g.windowEnd = end
+		var wg sync.WaitGroup
+		for _, sh := range active {
+			t, _ := sh.eng.NextEventTime()
+			if t >= end {
+				continue
+			}
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.err = sh.eng.RunUntil(end)
+			}(sh)
+		}
+		wg.Wait()
+		g.windows++
+		for _, sh := range g.shards {
+			if sh.err != nil {
+				err := sh.err
+				sh.err = nil
+				g.abort(sh, err)
+				return err
+			}
+		}
+	}
+
+	// Global drain: per-shard deadlock accounting, in shard order so the
+	// reported error is deterministic.
+	var first error
+	for _, sh := range g.shards {
+		if err := sh.eng.finishDrained(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// abort unwinds every shard after one of them failed (livelock teardown
+// already unwound the failing shard itself).
+func (g *ShardGroup) abort(failed *shard, err error) {
+	for _, sh := range g.shards {
+		if sh == failed {
+			continue
+		}
+		sh.eng.clearPending()
+		sh.eng.KillParked()
+	}
+}

@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// mix64 is the splitmix64 finalizer: a cheap bijective hash used to give
+// the synthetic PDES workloads deterministic, order-insensitive checksums.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e209
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pdesNode is one logical node of the synthetic model: a per-node RNG
+// (advanced only by the node's own local events, so its draw sequence is
+// independent of the shard mapping) and an XOR checksum (commutative, so
+// same-instant dispatch order within a shard cannot affect it).
+type pdesNode struct {
+	id    int
+	rng   uint64
+	sum   uint64
+	count int
+}
+
+func (n *pdesNode) next() uint64 {
+	n.rng = n.rng*6364136223846793005 + 1442695040888963407
+	return mix64(n.rng)
+}
+
+// runPDESModel executes the synthetic model: `nodes` logical nodes mapped
+// onto k shards (node i on shard i%k), each running `steps` local events
+// with pseudo-random intervals; roughly every fifth event sends a message
+// to another node, delayed by at least `lookahead` (the model's minimum
+// cross-node latency, exactly like a mesh hop). Returns per-node
+// (checksum, event count) — which must be identical for every k.
+func runPDESModel(t testing.TB, k, nodes, steps int, lookahead Time) ([]uint64, []int, *ShardGroup) {
+	g := NewShardGroup(k, lookahead)
+	shardOf := func(i int) int { return i % k }
+	ns := make([]*pdesNode, nodes)
+	for i := range ns {
+		ns[i] = &pdesNode{id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+	}
+	var tick func(n *pdesNode, remaining int)
+	tick = func(n *pdesNode, remaining int) {
+		eng := g.Shard(shardOf(n.id))
+		now := eng.Now()
+		n.sum ^= mix64(uint64(now)<<8 | uint64(n.id))
+		n.count++
+		if r := n.next(); r%5 == 0 && nodes > 1 {
+			tgt := int(n.next() % uint64(nodes-1))
+			if tgt >= n.id {
+				tgt++
+			}
+			val := n.next()
+			at := now + lookahead + Time(n.next()%97)
+			dst := ns[tgt]
+			deliver := func() {
+				dst.sum ^= val
+				dst.count++
+			}
+			if shardOf(tgt) == shardOf(n.id) {
+				eng.At(at, deliver)
+			} else {
+				g.Post(shardOf(n.id), shardOf(tgt), at, deliver)
+			}
+		}
+		if remaining > 1 {
+			eng.After(1+Time(n.next()%9), func() { tick(n, remaining-1) })
+		}
+	}
+	for i, n := range ns {
+		n := n
+		g.Shard(shardOf(i)).At(Time(1+i), func() { tick(n, steps) })
+	}
+	if err := g.Run(); err != nil {
+		t.Fatalf("k=%d: Run: %v", k, err)
+	}
+	sums := make([]uint64, nodes)
+	counts := make([]int, nodes)
+	for i, n := range ns {
+		sums[i] = n.sum
+		counts[i] = n.count
+	}
+	return sums, counts, g
+}
+
+// TestPDESDeterminismAcrossShardCounts is the core equivalence property:
+// the same model produces identical per-node results at every shard
+// count, including k=1 (which is the serial reference).
+func TestPDESDeterminismAcrossShardCounts(t *testing.T) {
+	const nodes, steps = 8, 300
+	const lookahead Time = 20
+	refSums, refCounts, _ := runPDESModel(t, 1, nodes, steps, lookahead)
+	for _, k := range []int{2, 3, 4, 8} {
+		sums, counts, g := runPDESModel(t, k, nodes, steps, lookahead)
+		for i := range refSums {
+			if sums[i] != refSums[i] || counts[i] != refCounts[i] {
+				t.Fatalf("k=%d node %d: got (sum=%#x count=%d), serial reference (sum=%#x count=%d)",
+					k, i, sums[i], counts[i], refSums[i], refCounts[i])
+			}
+		}
+		if g.Posted() == 0 {
+			t.Fatalf("k=%d: model sent no cross-shard events; test is vacuous", k)
+		}
+		if g.Windows() == 0 {
+			t.Fatalf("k=%d: no windows executed", k)
+		}
+	}
+}
+
+// TestPDESDeterminismWithProcs runs the same equivalence check with
+// migrating-driver processes instead of bare events: each node is a proc
+// that sleeps pseudo-random intervals across window boundaries and uses a
+// per-shard resource, proving RunUntil suspends and resumes coroutine
+// state correctly at window edges.
+func TestPDESDeterminismWithProcs(t *testing.T) {
+	const nodes, steps = 6, 200
+	const lookahead Time = 25
+	run := func(k int) ([]uint64, []int) {
+		g := NewShardGroup(k, lookahead)
+		shardOf := func(i int) int { return i % k }
+		// One resource per NODE (not per shard): a shared per-shard
+		// resource would make contention — and therefore timing — depend
+		// on the node→shard mapping, which is exactly what the model must
+		// not do.
+		res := make([]*Resource, nodes)
+		for i := range res {
+			res[i] = NewResource(g.Shard(shardOf(i)), fmt.Sprintf("port%d", i))
+		}
+		ns := make([]*pdesNode, nodes)
+		for i := range ns {
+			ns[i] = &pdesNode{id: i, rng: uint64(i)*0x2545f4914f6cdd1d + 7}
+		}
+		for i := range ns {
+			n := ns[i]
+			sh := shardOf(i)
+			eng := g.Shard(sh)
+			eng.Spawn(fmt.Sprintf("node%d", i), func(p *Proc) {
+				p.Sleep(Time(1 + n.id))
+				for s := 0; s < steps; s++ {
+					res[n.id].Use(p, 2+Time(n.next()%5))
+					n.sum ^= mix64(uint64(p.Now())<<8 | uint64(n.id))
+					n.count++
+					if n.next()%4 == 0 && nodes > 1 {
+						tgt := int(n.next() % uint64(nodes-1))
+						if tgt >= n.id {
+							tgt++
+						}
+						val := n.next()
+						at := p.Now() + lookahead + Time(n.next()%31)
+						dst := ns[tgt]
+						deliver := func() {
+							dst.sum ^= val
+							dst.count++
+						}
+						if shardOf(tgt) == sh {
+							eng.At(at, deliver)
+						} else {
+							g.Post(sh, shardOf(tgt), at, deliver)
+						}
+					}
+					p.Sleep(1 + Time(n.next()%7))
+				}
+			})
+		}
+		if err := g.Run(); err != nil {
+			t.Fatalf("k=%d: Run: %v", k, err)
+		}
+		sums := make([]uint64, nodes)
+		counts := make([]int, nodes)
+		for i, n := range ns {
+			sums[i] = n.sum
+			counts[i] = n.count
+		}
+		return sums, counts
+	}
+	refSums, refCounts := run(1)
+	for _, k := range []int{2, 3, 6} {
+		sums, counts := run(k)
+		for i := range refSums {
+			if sums[i] != refSums[i] || counts[i] != refCounts[i] {
+				t.Fatalf("k=%d node %d: got (sum=%#x count=%d), serial reference (sum=%#x count=%d)",
+					k, i, sums[i], counts[i], refSums[i], refCounts[i])
+			}
+		}
+	}
+}
+
+// TestPDESWindowBarrierStress is the race-detector target: many shards,
+// dense cross-traffic, small lookahead (so nearly every epoch runs a
+// bounded window with real goroutine concurrency). Run under -race this
+// checks the single-writer inbox discipline and the barrier's
+// happens-before edges.
+func TestPDESWindowBarrierStress(t *testing.T) {
+	const nodes, steps = 16, 150
+	const lookahead Time = 5
+	refSums, refCounts, _ := runPDESModel(t, 1, nodes, steps, lookahead)
+	sums, counts, g := runPDESModel(t, 8, nodes, steps, lookahead)
+	for i := range refSums {
+		if sums[i] != refSums[i] || counts[i] != refCounts[i] {
+			t.Fatalf("node %d: got (sum=%#x count=%d), serial reference (sum=%#x count=%d)",
+				i, sums[i], counts[i], refSums[i], refCounts[i])
+		}
+	}
+	if g.Windows() < 50 {
+		t.Fatalf("stress ran only %d windows; expected dense windowing with lookahead=%d", g.Windows(), lookahead)
+	}
+}
+
+// TestPDESSequentialFallback pins the degenerate-but-critical case: all
+// events on one shard (the honest classification for a model with
+// zero-latency cross-shard couplings) must run as unbounded fallback
+// windows, not lookahead-sliced ones.
+func TestPDESSequentialFallback(t *testing.T) {
+	g := NewShardGroup(4, 20)
+	var got []Time
+	e := g.Shard(0)
+	var chain func(left int)
+	chain = func(left int) {
+		got = append(got, e.Now())
+		if left > 0 {
+			e.After(1000, func() { chain(left - 1) })
+		}
+	}
+	e.At(1, func() { chain(50) })
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 51 {
+		t.Fatalf("dispatched %d events, want 51", len(got))
+	}
+	if g.Windows() != 1 || g.SeqWindows() != 1 {
+		t.Fatalf("pinned model ran %d windows (%d sequential); want exactly 1 unbounded window",
+			g.Windows(), g.SeqWindows())
+	}
+	if g.Posted() != 0 {
+		t.Fatalf("pinned model posted %d cross-shard events; want 0", g.Posted())
+	}
+}
+
+// TestPDESFallbackPostReplans verifies the fallback window closes when
+// the lone running shard posts outward: the woken shard's reply must not
+// land in the poster's past.
+func TestPDESFallbackPostReplans(t *testing.T) {
+	const lookahead Time = 10
+	g := NewShardGroup(2, lookahead)
+	e0, e1 := g.Shard(0), g.Shard(1)
+	var trace []string
+	e0.At(1, func() {
+		trace = append(trace, fmt.Sprintf("s0@%d", e0.Now()))
+		// Wake shard 1; it replies immediately (one lookahead later).
+		g.Post(0, 1, e0.Now()+lookahead, func() {
+			trace = append(trace, fmt.Sprintf("s1@%d", e1.Now()))
+			g.Post(1, 0, e1.Now()+lookahead, func() {
+				trace = append(trace, fmt.Sprintf("s0@%d", e0.Now()))
+			})
+		})
+		// A far-future local event the fallback window must NOT reach
+		// before the reply above has had its chance to land.
+		e0.At(1000, func() {
+			trace = append(trace, fmt.Sprintf("s0@%d", e0.Now()))
+		})
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s0@1", "s1@11", "s0@21", "s0@1000"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestPDESLookaheadViolationPanics pins the conservative contract: a
+// mid-window post below the window end must panic rather than silently
+// produce interleaving-dependent results.
+func TestPDESLookaheadViolationPanics(t *testing.T) {
+	const lookahead Time = 50
+	g := NewShardGroup(2, lookahead)
+	panicked := make(chan interface{}, 1)
+	// Both shards need events so the window is bounded (not fallback).
+	g.Shard(1).At(5, func() {})
+	g.Shard(0).At(5, func() {
+		defer func() { panicked <- recover() }()
+		g.Post(0, 1, g.Shard(0).Now()+1, func() {}) // violates lookahead
+	})
+	_ = g.Run()
+	select {
+	case p := <-panicked:
+		if p == nil {
+			t.Fatal("sub-lookahead Post did not panic")
+		}
+	default:
+		t.Fatal("violation event never ran")
+	}
+}
+
+// TestRunUntilWindowing covers the RunUntil primitive directly: the
+// boundary event stays queued, the clock does not advance to it, and the
+// engine resumes exactly where it left off.
+func TestRunUntilWindowing(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{5, 10, 15} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("RunUntil(10) dispatched %v, want [5]", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %d after window, want 5 (must not advance to the boundary event)", e.Now())
+	}
+	if next, ok := e.NextEventTime(); !ok || next != 10 {
+		t.Fatalf("NextEventTime = %d,%v, want 10,true", next, ok)
+	}
+	if err := e.RunUntil(16); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("after second window dispatched %v, want all three", got)
+	}
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("queue should be empty")
+	}
+	// The engine must still pass the normal deadlock-checked drain.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUntilLeavesParkedProcs: a proc sleeping across the horizon is
+// not a deadlock — RunUntil must return cleanly with the proc parked and
+// its wake still queued.
+func TestRunUntilLeavesParkedProcs(t *testing.T) {
+	e := New()
+	var woke bool
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		woke = true
+	})
+	if err := e.RunUntil(50); err != nil {
+		t.Fatalf("RunUntil with parked proc: %v", err)
+	}
+	if woke {
+		t.Fatal("proc woke before its wake time")
+	}
+	if next, ok := e.NextEventTime(); !ok || next != 100 {
+		t.Fatalf("NextEventTime = %d,%v, want 100,true", next, ok)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Fatal("proc never completed")
+	}
+}
+
+// TestPDESDeadlockReported: a non-daemon proc left parked after global
+// drain is a deadlock, attributed deterministically to the lowest shard.
+func TestPDESDeadlockReported(t *testing.T) {
+	g := NewShardGroup(2, 10)
+	cond := NewCond(g.Shard(1)).Named("never-signaled")
+	g.Shard(1).Spawn("stuck", func(p *Proc) {
+		cond.Wait(p)
+	})
+	g.Shard(0).At(1, func() {})
+	err := g.Run()
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want *DeadlockError", err)
+	}
+}
+
+// TestPDESLivelockAborts: one shard tripping its event budget aborts the
+// whole group with a *LivelockError and unwinds every shard.
+func TestPDESLivelockAborts(t *testing.T) {
+	g := NewShardGroup(2, 10)
+	g.Shard(0).SetEventLimit(100)
+	var spin func()
+	e := g.Shard(0)
+	spin = func() { e.After(1, spin) }
+	e.At(1, spin)
+	g.Shard(1).Spawn("bystander", func(p *Proc) { p.Sleep(never / 2) })
+	err := g.Run()
+	var lerr *LivelockError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("got %v, want *LivelockError", err)
+	}
+}
+
+// BenchmarkPDESWindows measures the window scheduler on a shard-
+// decomposable model: k shards, each a chain of events doing real CPU
+// work, with periodic cross-shard messages at the lookahead floor. Run
+// under GOMAXPROCS 1/2/4/8 (scripts/bench.sh does) this produces the
+// scaling curve; at GOMAXPROCS=1 it measures pure protocol overhead.
+func BenchmarkPDESWindows(b *testing.B) {
+	const (
+		steps     = 400
+		work      = 300
+		lookahead = Time(100)
+		interval  = Time(7)
+	)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := NewShardGroup(k, lookahead)
+				sink := make([]uint64, k)
+				var tick func(sh int, left int)
+				tick = func(sh, left int) {
+					e := g.Shard(sh)
+					h := sink[sh]
+					for w := 0; w < work; w++ {
+						h = mix64(h + uint64(w))
+					}
+					sink[sh] = h
+					if left%4 == 0 && k > 1 {
+						tgt := (sh + 1) % k
+						g.Post(sh, tgt, e.Now()+lookahead+1, func() {
+							sink[tgt] = mix64(sink[tgt])
+						})
+					}
+					if left > 1 {
+						e.After(interval, func() { tick(sh, left-1) })
+					}
+				}
+				for sh := 0; sh < k; sh++ {
+					sh := sh
+					g.Shard(sh).At(1, func() { tick(sh, steps) })
+				}
+				if err := g.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(steps*k)/float64(1), "events/op")
+		})
+	}
+}

@@ -5,8 +5,13 @@
 # Usage: scripts/benchdiff.sh [--warn] [OLD.json] NEW.json
 #        scripts/benchdiff.sh --gate NEW.json
 #
-# When OLD.json is omitted the latest checked-in baseline is used: the
-# highest-numbered BENCH_*.json in the repo root, excluding NEW itself.
+# When OLD.json is omitted the baseline is synthesized per benchmark:
+# the BEST (minimum) ns/op each benchmark ever recorded across ALL
+# checked-in BENCH_*.json files in the repo root (excluding NEW
+# itself), and each row reports which file its baseline came from.
+# (An earlier version fell back to only the highest-numbered file —
+# which both compared against a single possibly-noisy snapshot and
+# assumed the numbering was gapless; BENCH_3/4 were never checked in.)
 #
 # Benchmarks present in only one file are listed without a delta. Exits
 # non-zero on malformed input, zero otherwise (the report does not judge
@@ -28,7 +33,11 @@
 # point: it is how the PR-4/5 micro-benchmark drift slipped through —
 # each snapshot was compared only to its noisy predecessor. End-to-end
 # benchmarks (nonzero allocs) are excluded from the gate; their noise on
-# shared runners makes a hard wall-clock gate counterproductive.
+# shared runners makes a hard wall-clock gate counterproductive. Gate
+# comparisons are keyed by full benchmark name, so PDES variants (e.g.
+# BenchmarkPDESWindows/shards=8@gm4) gate only against their own prior
+# records, never against the serial benches. Each gate line reports
+# which BENCH_*.json its best baseline came from.
 set -eu
 
 warn=0
@@ -41,11 +50,13 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-# bench.sh emits one record per line; pull the fields back out with awk.
-# Works on both the old plain-array format and the current object format
-# (the "env" header line carries no "name" key, so it is skipped).
+# bench.sh emits one record per line; pull the fields back out with awk
+# as "name ns allocs srcfile". Works on both the old plain-array format
+# and the current object format (the "env" header line carries no
+# "name" key, so it is skipped).
 extract() {
   awk '
+    FNR == 1 { n = split(FILENAME, part, "/"); src = part[n] }
     /"name"/ {
       line = $0
       if (match(line, /"name":"[^"]*"/)) {
@@ -55,7 +66,7 @@ extract() {
           ns = substr(line, RSTART + 12, RLENGTH - 12)
         if (match(line, /"allocs_per_op":[0-9]+/))
           allocs = substr(line, RSTART + 16, RLENGTH - 16)
-        print name, ns, allocs
+        print name, ns, allocs, src
       }
     }
   ' "$1"
@@ -93,8 +104,10 @@ if [ "$gate" = 1 ]; then
         split(line, f, " ")
         if (f[3] + 0 == 0 && f[3] != "null") {
           zero[f[1]] = 1
-          if (!(f[1] in best) || f[2] + 0 < best[f[1]])
+          if (!(f[1] in best) || f[2] + 0 < best[f[1]]) {
             best[f[1]] = f[2] + 0
+            bestsrc[f[1]] = f[4]
+          }
         }
       }
       close(basefile)
@@ -110,12 +123,12 @@ if [ "$gate" = 1 ]; then
       }
       pct = 100 * (nns - best[name]) / best[name]
       if (pct > thr) {
-        printf "::error title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g -> %.4g, gate %s%%)\n",
-          name, pct, best[name], nns, thr
+        printf "::error title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g in %s -> %.4g, gate %s%%)\n",
+          name, pct, best[name], bestsrc[name], nns, thr
         fail = 1
       } else {
-        printf "gate ok: %-34s %10.4g ns/op vs best %10.4g (%+.1f%%, gate %s%%)\n",
-          name, nns, best[name], pct, thr
+        printf "gate ok: %-34s %10.4g ns/op vs best %10.4g [%s] (%+.1f%%, gate %s%%)\n",
+          name, nns, best[name], bestsrc[name], pct, thr
       }
     }
     END {
@@ -129,26 +142,43 @@ if [ "$gate" = 1 ]; then
   exit $?
 fi
 
+oldx="${TMPDIR:-/tmp}/benchdiff_old.$$"
+newx="${TMPDIR:-/tmp}/benchdiff_new.$$"
+trap 'rm -f "$oldx" "$newx"' EXIT
+merged=0
 case $# in
 2)
-  old="$1"
+  extract "$1" > "$oldx"
   new="$2"
   ;;
 1)
-  # OLD omitted: fall back to the latest checked-in BENCH_*.json
-  # baseline (highest number wins), skipping NEW itself.
+  # OLD omitted: synthesize a best-ever baseline. For each benchmark,
+  # keep the record with the minimum ns/op across every checked-in
+  # BENCH_*.json (skipping NEW itself); the source file rides along in
+  # column 4 so every report row can say where its baseline came from.
   new="$1"
   repo="$(cd "$(dirname "$0")/.." && pwd)"
-  old=""
+  merged=1
+  : > "$oldx"
+  files=""
   for f in $(ls "$repo"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
     [ "$f" -ef "$new" ] 2>/dev/null && continue
-    old="$f"
+    extract "$f" >> "$oldx"
+    files="$files ${f##*/}"
   done
-  if [ -z "$old" ]; then
+  if [ -z "$files" ]; then
     echo "$0: no baseline BENCH_*.json found in $repo" >&2
     exit 2
   fi
-  echo "benchdiff: baseline $old" >&2
+  awk '
+    $2 != "null" && (!($1 in best) || $2 + 0 < best[$1]) {
+      if (!($1 in best)) order[++n] = $1
+      best[$1] = $2 + 0
+      line[$1] = $0
+    }
+    END { for (i = 1; i <= n; i++) print line[order[i]] }
+  ' "$oldx" > "$oldx.min" && mv "$oldx.min" "$oldx"
+  echo "benchdiff: baseline = per-benchmark best across$files" >&2
   ;;
 *)
   echo "usage: $0 [--warn] [OLD.json] NEW.json" >&2
@@ -157,19 +187,18 @@ case $# in
 esac
 threshold="${BENCHDIFF_THRESHOLD:-15}"
 
-extract "$old" > "${TMPDIR:-/tmp}/benchdiff_old.$$"
-extract "$new" > "${TMPDIR:-/tmp}/benchdiff_new.$$"
-trap 'rm -f "${TMPDIR:-/tmp}/benchdiff_old.$$" "${TMPDIR:-/tmp}/benchdiff_new.$$"' EXIT
+extract "$new" > "$newx"
 
-awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" '
+awk -v oldfile="$oldx" -v merged="$merged" '
   BEGIN {
     while ((getline line < oldfile) > 0) {
       split(line, f, " ")
-      ons[f[1]] = f[2]; oal[f[1]] = f[3]; seen[f[1]] = 1
+      ons[f[1]] = f[2]; oal[f[1]] = f[3]; osrc[f[1]] = f[4]; seen[f[1]] = 1
     }
     close(oldfile)
-    printf "%-34s %14s %14s %8s %12s %12s %8s\n",
-      "benchmark", "old-ns/op", "new-ns/op", "time", "old-allocs", "new-allocs", "allocs"
+    printf "%-34s %14s %14s %8s %12s %12s %8s%s\n",
+      "benchmark", "old-ns/op", "new-ns/op", "time", "old-allocs", "new-allocs", "allocs",
+      merged ? "  baseline-src" : ""
   }
   {
     name = $1; nns = $2; nal = $3
@@ -180,16 +209,18 @@ awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" '
     done[name] = 1
     dt = (ons[name] + 0 > 0) ? sprintf("%+.1f%%", 100 * (nns - ons[name]) / ons[name]) : "-"
     da = (oal[name] + 0 > 0) ? sprintf("%+.1f%%", 100 * (nal - oal[name]) / oal[name]) : "-"
-    printf "%-34s %14s %14s %8s %12s %12s %8s\n", name, ons[name], nns, dt, oal[name], nal, da
+    printf "%-34s %14s %14s %8s %12s %12s %8s%s\n", name, ons[name], nns, dt, oal[name], nal, da,
+      merged ? "  " osrc[name] : ""
   }
   END {
     for (name in seen) if (!(name in done))
-      printf "%-34s %14s %14s %8s %12s %12s %8s   (dropped)\n", name, ons[name], "-", "-", oal[name], "-", "-"
+      printf "%-34s %14s %14s %8s %12s %12s %8s   (dropped%s)\n",
+        name, ons[name], "-", "-", oal[name], "-", "-", merged ? "; was in " osrc[name] : ""
   }
-' "${TMPDIR:-/tmp}/benchdiff_new.$$"
+' "$newx"
 
 if [ "$warn" = 1 ]; then
-  awk -v oldfile="${TMPDIR:-/tmp}/benchdiff_old.$$" -v thr="$threshold" '
+  awk -v oldfile="$oldx" -v thr="$threshold" '
     BEGIN {
       while ((getline line < oldfile) > 0) {
         split(line, f, " ")
@@ -205,5 +236,5 @@ if [ "$warn" = 1 ]; then
         printf "::warning title=bench regression::%s ns/op regressed %+.1f%% (%s -> %s, threshold %s%%)\n",
           name, pct, ons[name], nns, thr
     }
-  ' "${TMPDIR:-/tmp}/benchdiff_new.$$"
+  ' "$newx"
 fi
