@@ -6,13 +6,15 @@
 // Usage:
 //
 //	nwreport -html report.html -manifest m.json [-manifest m2.json]
-//	         [-series s.ndjson]... [-trace t.json]...
+//	         [-series s.ndjson]... [-trace t.json]... [-cells sweep.ndjson]...
 //	nwreport -diff old.json new.json [-threshold 5]
 //
 // Report mode renders a manifest summary table, a metric delta table
 // when exactly two manifests are given, per-run metric sparklines from
-// every series file, and per-phase span rollups from every trace file.
-// The output embeds everything (inline CSS + SVG); no network, no JS.
+// every series file, per-phase span rollups from every trace file, and
+// — for each -cells input (an nwsweep shard or merged NDJSON) — a sweep
+// cell table. The output embeds everything (inline CSS + SVG); no
+// network, no JS.
 //
 // Diff mode compares two manifests metric by metric and exits 1 when
 // any metric moved by more than -threshold percent (or is missing from
@@ -32,6 +34,7 @@ import (
 	"strings"
 
 	"nwcache/internal/obs"
+	"nwcache/internal/sweep"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -45,6 +48,7 @@ func main() {
 		manifests multiFlag
 		seriesFs  multiFlag
 		traceFs   multiFlag
+		cellFs    multiFlag
 		htmlOut   = flag.String("html", "", "write the HTML report to this file")
 		diffMode  = flag.Bool("diff", false, "compare two manifests: nwreport -diff old.json new.json [-threshold P]")
 		threshold = flag.Float64("threshold", 5.0, "diff mode: max allowed per-metric change in percent (0 = exact, including the stdout digest)")
@@ -52,6 +56,7 @@ func main() {
 	flag.Var(&manifests, "manifest", "run manifest JSON file (repeatable)")
 	flag.Var(&seriesFs, "series", "time-series NDJSON file from -series-out (repeatable)")
 	flag.Var(&traceFs, "trace", "Chrome trace JSON file from -trace-out (repeatable)")
+	flag.Var(&cellFs, "cells", "nwsweep cell NDJSON file, shard or merged (repeatable)")
 	flag.Parse()
 
 	if *diffMode {
@@ -87,8 +92,8 @@ func main() {
 	if *htmlOut == "" {
 		fatal(fmt.Errorf("nothing to do: pass -html FILE (report mode) or -diff old new"))
 	}
-	if len(manifests) == 0 && len(seriesFs) == 0 && len(traceFs) == 0 {
-		fatal(fmt.Errorf("report mode needs at least one -manifest, -series, or -trace input"))
+	if len(manifests) == 0 && len(seriesFs) == 0 && len(traceFs) == 0 && len(cellFs) == 0 {
+		fatal(fmt.Errorf("report mode needs at least one -manifest, -series, -trace, or -cells input"))
 	}
 
 	var mans []*obs.Manifest
@@ -150,6 +155,12 @@ func main() {
 	for _, tf := range traces {
 		writeTraceSection(w, tf.path, tf.runs)
 	}
+	for _, p := range cellFs {
+		if err := writeCellsSection(w, p); err != nil {
+			out.Close()
+			fatal(err)
+		}
+	}
 	fmt.Fprintln(w, "</body></html>")
 	if w.err != nil {
 		out.Close()
@@ -158,8 +169,49 @@ func main() {
 	if err := out.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "nwreport: wrote %s (%d manifests, %d series, %d traces)\n",
-		*htmlOut, len(mans), len(series), len(traces))
+	fmt.Fprintf(os.Stderr, "nwreport: wrote %s (%d manifests, %d series, %d traces, %d cell files)\n",
+		*htmlOut, len(mans), len(series), len(traces), len(cellFs))
+}
+
+// writeCellsSection streams one nwsweep NDJSON file (shard or merged)
+// into a sweep cell table: one row per cell in grid order, with the
+// per-cell result digest verified as it is read.
+func writeCellsSection(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(w, "<h2>Sweep cells: %s</h2>\n", html.EscapeString(path))
+	fmt.Fprintln(w, "<table><tr><th>idx</th><th>app</th><th>machine</th><th>prefetch</th><th>seed</th><th>faults</th><th>exec Mpcycles</th><th>digest</th></tr>")
+	rows := 0
+	err = sweep.ReadLines(f, func(l sweep.Line) error {
+		if !l.Verify() {
+			return fmt.Errorf("%s: cell %d (%s) fails digest verification", path, l.Idx, l.Label)
+		}
+		faults := "-"
+		if l.FaultPlan != "" || l.Recovery != "" {
+			faults = l.Recovery
+			if faults == "" {
+				faults = "aggressive"
+			}
+		}
+		digest := l.Digest
+		if len(digest) > 23 {
+			digest = digest[:23] + "…"
+		}
+		rows++
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%.2f</td><td><code>%s</code></td></tr>\n",
+			l.Idx, html.EscapeString(l.App), html.EscapeString(l.Kind), html.EscapeString(l.Mode),
+			l.Seed, html.EscapeString(faults), float64(l.Result.ExecTime)/1e6, html.EscapeString(digest))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "</table>")
+	fmt.Fprintf(w, "<p class=muted>%d cells, every result digest verified</p>\n", rows)
+	return nil
 }
 
 // diffArgs extracts "old new [-threshold P]" from the arguments left

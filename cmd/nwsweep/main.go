@@ -20,9 +20,28 @@
 // application. Simulations are scheduled on a shared worker pool (-j);
 // cells shared between columns (or repeated invocations of the same
 // process) run exactly once.
+//
+// Scale-out grid mode (-grid) replaces the fixed tables with a
+// declarative grid spec (see internal/sweep) run shard-by-shard with
+// checkpoint/resume and a content-addressed result cache:
+//
+//	nwsweep -grid spec.txt -dir out/ -shard 0/4     # run one shard
+//	nwsweep -grid spec.txt -dir out/ -merge -shards 4
+//
+// A shard killed mid-sweep resumes exactly where it stopped (the STATE
+// file in -dir is replayed); re-running a completed shard — or an
+// overlapping sweep sharing the same -cache directory — executes zero
+// fresh cells. -max-cells caps fresh simulations per invocation (the
+// shard exits with code 3 while incomplete; invoke again to continue).
+// -merge streams the shard outputs into merged.ndjson +
+// merged.manifest.json (+ merged.series.ndjson when the spec samples
+// series), which are byte-identical however the sweep was interrupted
+// or sharded. The classic table sweeps accept -cache too, routing the
+// worker pool's memoization through the same on-disk cache.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,19 +50,35 @@ import (
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
 	"nwcache/internal/stats"
+	"nwcache/internal/sweep"
 )
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "minfree", "minfree | diskcache | ring | channels | nodes | wbuf | drain | swapdepth | armsched | prefetch | baseline")
-		scale    = flag.Float64("scale", 1.0, "workload scale")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all)")
-		prefetch = flag.String("prefetch", "optimal", "prefetch mode for the sweep: naive or optimal")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
+		sweepName = flag.String("sweep", "minfree", "minfree | diskcache | ring | channels | nodes | wbuf | drain | swapdepth | armsched | prefetch | baseline")
+		scale     = flag.Float64("scale", 1.0, "workload scale")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		apps      = flag.String("apps", "", "comma-separated app subset (default: all)")
+		prefetch  = flag.String("prefetch", "optimal", "prefetch mode for the sweep: naive or optimal")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations to run concurrently")
+		cacheDir  = flag.String("cache", "", "content-addressed result cache directory (default in grid mode: <dir>/cache)")
+
+		gridSpec = flag.String("grid", "", "grid spec file: run in scale-out sweep mode (see internal/sweep)")
+		dir      = flag.String("dir", "", "sweep output directory (grid mode)")
+		shard    = flag.String("shard", "0/1", "shard to run, i/n (grid mode)")
+		maxCells = flag.Int("max-cells", 0, "cap fresh simulations this invocation; exit 3 while incomplete (grid mode)")
+		merge    = flag.Bool("merge", false, "merge completed shard outputs instead of running (grid mode)")
+		shards   = flag.Int("shards", 1, "total shard count for -merge")
+		par      = flag.Bool("par", false, "pipelined op-stream generation for fresh cells (grid mode)")
+		pdes     = flag.Int("pdes", 0, "windowed PDES shard-group width for fresh cells (grid mode)")
 	)
 	flag.Parse()
+
+	if *gridSpec != "" {
+		runGrid(*gridSpec, *dir, *shard, *cacheDir, *jobs, *maxCells, *shards, *merge, *par, *pdes, *quiet)
+		return
+	}
 
 	mode := core.Optimal
 	if *prefetch == "naive" {
@@ -58,6 +93,13 @@ func main() {
 		list = splitComma(*apps)
 	}
 	sched := pool.New(*jobs)
+	if *cacheDir != "" {
+		c, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		sched.SetBacking(c)
+	}
 	progress := func(label string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "running %s...\n", label)
@@ -96,7 +138,7 @@ func main() {
 	}
 	mpc := func(r *core.Result) string { return stats.FmtF(float64(r.ExecTime)/1e6, 1) }
 
-	switch *sweep {
+	switch *sweepName {
 	case "minfree":
 		points := []int{2, 4, 8, 12, 16}
 		for _, kind := range []core.Kind{core.Standard, core.NWCache} {
@@ -356,9 +398,71 @@ func main() {
 		fmt.Println(t)
 
 	default:
-		fmt.Fprintf(os.Stderr, "nwsweep: unknown sweep %q\n", *sweep)
+		fmt.Fprintf(os.Stderr, "nwsweep: unknown sweep %q\n", *sweepName)
 		os.Exit(1)
 	}
+}
+
+// runGrid is the scale-out sweep mode: run one shard of a grid spec
+// with checkpoint/resume (or, with doMerge, stream completed shard
+// outputs into the merged artifacts).
+func runGrid(specPath, dir, shardSpec, cacheDir string, jobs, maxCells, shards int, doMerge, par bool, pdes int, quiet bool) {
+	if dir == "" {
+		fatal(fmt.Errorf("grid mode needs -dir"))
+	}
+	spec, err := sweep.ParseSpecFile(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if doMerge {
+		cells, err := sweep.Merge(spec, dir, shards, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "nwsweep: merged %d cells from %d shards\n", cells, shards)
+		}
+		return
+	}
+	i, n, err := parseShard(shardSpec)
+	if err != nil {
+		fatal(err)
+	}
+	r := &sweep.Runner{
+		Spec:     spec,
+		Shard:    i,
+		Shards:   n,
+		Dir:      dir,
+		Pool:     pool.New(jobs),
+		CacheDir: cacheDir,
+		MaxFresh: maxCells,
+		Par:      par,
+		Pdes:     pdes,
+	}
+	if !quiet {
+		r.Progress = func(label string) {
+			fmt.Fprintf(os.Stderr, "running %s...\n", label)
+		}
+	}
+	sum, err := r.Run()
+	fmt.Fprintf(os.Stderr, "nwsweep: %s\n", sum)
+	if errors.Is(err, sweep.ErrIncomplete) {
+		os.Exit(3)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// parseShard decodes "i/n".
+func parseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n)", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: index out of range", s)
+	}
+	return i, n, nil
 }
 
 func fatal(err error) {

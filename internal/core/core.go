@@ -49,6 +49,32 @@ const (
 	Streamed = disk.Streamed
 )
 
+// ParseKind decodes a machine-kind name ("standard" or "nwcache") —
+// the inverse of Kind.String, for CLI flags and sweep grid specs.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "standard":
+		return Standard, nil
+	case "nwcache":
+		return NWCache, nil
+	}
+	return 0, fmt.Errorf("core: unknown machine kind %q (want standard or nwcache)", name)
+}
+
+// ParseMode decodes a prefetch-mode name ("naive", "optimal", or
+// "streamed") — the inverse of PrefetchMode.String.
+func ParseMode(name string) (PrefetchMode, error) {
+	switch name {
+	case "naive":
+		return Naive, nil
+	case "optimal":
+		return Optimal, nil
+	case "streamed":
+		return Streamed, nil
+	}
+	return 0, fmt.Errorf("core: unknown prefetch mode %q (want naive, optimal, or streamed)", name)
+}
+
 // Config re-exports the simulation parameters (Table 1).
 type Config = param.Config
 

@@ -89,6 +89,13 @@ func (s *Suite) pool() *pool.Pool {
 	return s.sched
 }
 
+// Pool exposes the suite's scheduler so callers can tune it — e.g.
+// attach an on-disk result cache (pool.Backing) or adjust the memo
+// bound before running the matrix.
+func (s *Suite) Pool() *pool.Pool {
+	return s.pool()
+}
+
 // cell builds the pool cell for one matrix coordinate, applying the
 // paper's per-configuration minimum-free-frames floor.
 func (s *Suite) cell(app string, kind core.Kind, mode core.PrefetchMode) core.Cell {

@@ -16,6 +16,7 @@
 package pool
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -24,12 +25,32 @@ import (
 	"nwcache/internal/core"
 )
 
+// DefaultMemoLimit bounds the in-process memo cache. A million-cell
+// sweep must not accumulate a million retained Results: once the memo
+// holds this many completed futures, the least-recently-used ones are
+// evicted (an evicted cell re-simulates — or reloads from a Backing —
+// on its next submission). SetMemoLimit adjusts or disables the bound.
+const DefaultMemoLimit = 1 << 16
+
+// Backing is an optional second-level result store behind the memo
+// cache — in practice sweep.Cache, the content-addressed on-disk cache.
+// Load is consulted before simulating a memo miss; Store is called
+// after every fresh simulation. Implementations must be safe for
+// concurrent use; Store failures are the implementation's to swallow
+// (a lost cache write only costs a future re-run).
+type Backing interface {
+	Load(key string) (*core.Result, bool)
+	Store(key string, c core.Cell, res *core.Result)
+}
+
 // Future is the pending (or completed) result of one cell.
 type Future struct {
 	cell core.Cell
+	key  string
 	done chan struct{}
 	res  *core.Result
 	err  error
+	elem *list.Element // LRU position once completed; nil while in flight
 }
 
 // Cell returns the cell this future computes.
@@ -45,47 +66,103 @@ func (f *Future) Wait() (*core.Result, error) {
 // Pool is a bounded worker pool with a cell-key memo cache. The zero Pool
 // is not usable; construct with New.
 type Pool struct {
-	sem  chan struct{}
-	mu   sync.Mutex
-	memo map[string]*Future
-	runs int
-	hits int
+	sem     chan struct{}
+	mu      sync.Mutex
+	memo    map[string]*Future
+	lru     *list.List // completed futures, most recent at the front
+	limit   int        // max completed futures retained; <= 0: unbounded
+	backing Backing
+	runs    int
+	hits    int
+	loads   int // memo misses served by the backing store
+	evicts  int
 }
 
 // New returns a pool running at most workers simulations concurrently.
-// workers < 1 selects GOMAXPROCS.
+// workers < 1 selects GOMAXPROCS. The memo cache starts bounded at
+// DefaultMemoLimit.
 func New(workers int) *Pool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{
-		sem:  make(chan struct{}, workers),
-		memo: make(map[string]*Future),
+		sem:   make(chan struct{}, workers),
+		memo:  make(map[string]*Future),
+		lru:   list.New(),
+		limit: DefaultMemoLimit,
 	}
 }
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// SetMemoLimit bounds the number of completed futures the memo cache
+// retains (n <= 0 removes the bound). In-flight simulations are never
+// evicted, so the instantaneous size can exceed the bound by the number
+// of cells currently executing. Call before heavy submission; shrinking
+// evicts immediately.
+func (p *Pool) SetMemoLimit(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.limit = n
+	p.evictOverLimit()
+}
+
+// SetBacking routes memoization through a second-level store: memo
+// misses consult b.Load before simulating, and fresh results are handed
+// to b.Store. Pass nil to detach.
+func (p *Pool) SetBacking(b Backing) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.backing = b
+}
+
+// evictOverLimit drops least-recently-used completed futures until the
+// bound holds. Caller holds p.mu.
+func (p *Pool) evictOverLimit() {
+	for p.limit > 0 && p.lru.Len() > p.limit {
+		back := p.lru.Back()
+		ev := back.Value.(*Future)
+		p.lru.Remove(back)
+		ev.elem = nil
+		delete(p.memo, ev.key)
+		p.evicts++
+	}
+}
+
 // Submit schedules the cell for simulation and returns its future
-// immediately. fresh reports whether this call started a new simulation
-// (false: the cell was already cached or in flight). Submit never blocks
-// on simulation work.
+// immediately. fresh reports whether this call started a new execution
+// slot (false: the cell was already memoized or in flight — note a
+// "fresh" slot may still be satisfied by the backing store without
+// simulating). Submit never blocks on simulation work.
 func (p *Pool) Submit(c core.Cell) (f *Future, fresh bool) {
 	key := c.Key()
 	p.mu.Lock()
 	if f = p.memo[key]; f != nil {
 		p.hits++
+		if f.elem != nil {
+			p.lru.MoveToFront(f.elem)
+		}
 		p.mu.Unlock()
 		return f, false
 	}
-	f = &Future{cell: c, done: make(chan struct{})}
+	f = &Future{cell: c, key: key, done: make(chan struct{})}
 	p.memo[key] = f
-	p.runs++
+	b := p.backing
 	p.mu.Unlock()
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		defer func() {
+			// Completed: enter the LRU (evicting over the bound). In-flight
+			// futures are pinned — they only become evictable here.
+			p.mu.Lock()
+			if p.memo[key] == f {
+				f.elem = p.lru.PushFront(f)
+				p.evictOverLimit()
+			}
+			p.mu.Unlock()
+		}()
 		defer close(f.done)
 		defer func() {
 			// A panicking cell must not take down the whole matrix: convert
@@ -96,7 +173,22 @@ func (p *Pool) Submit(c core.Cell) (f *Future, fresh bool) {
 					c.Label(), key, r, debug.Stack())
 			}
 		}()
+		if b != nil {
+			if res, ok := b.Load(key); ok {
+				f.res = res
+				p.mu.Lock()
+				p.loads++
+				p.mu.Unlock()
+				return
+			}
+		}
+		p.mu.Lock()
+		p.runs++
+		p.mu.Unlock()
 		f.res, f.err = c.Run()
+		if b != nil && f.err == nil {
+			b.Store(key, c, f.res)
+		}
 	}()
 	return f, true
 }
@@ -107,12 +199,28 @@ func (p *Pool) Run(c core.Cell) (*core.Result, error) {
 	return f.Wait()
 }
 
-// Stats reports how many distinct simulations were started and how many
+// Stats reports how many distinct simulations were executed and how many
 // submissions were served from the memo cache.
 func (p *Pool) Stats() (runs, hits int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.runs, p.hits
+}
+
+// CacheStats reports the memo's second-level traffic: backing-store
+// loads that avoided a simulation and LRU evictions.
+func (p *Pool) CacheStats() (loads, evicts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loads, p.evicts
+}
+
+// MemoLen returns the number of futures currently memoized (completed
+// and in flight).
+func (p *Pool) MemoLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.memo)
 }
 
 // RunSeeds executes the application once per seed (cfg.Seed, cfg.Seed+1,

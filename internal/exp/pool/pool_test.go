@@ -150,6 +150,124 @@ func TestWorkersDefault(t *testing.T) {
 	}
 }
 
+// badCell builds a distinct, instantly-erroring cell (unknown app): the
+// cheapest way to churn the memo cache in bulk.
+func badCell(i int) core.Cell {
+	cfg := fastCfg()
+	cfg.Seed = int64(i + 100)
+	return core.Cell{App: "no-such-app", Kind: core.Standard, Mode: core.Naive, Cfg: cfg}
+}
+
+func TestMemoBoundedByLRU(t *testing.T) {
+	const limit = 4
+	p := New(1)
+	p.SetMemoLimit(limit)
+	cells := make([]core.Cell, 10)
+	for i := range cells {
+		cells[i] = badCell(i)
+		f, fresh := p.Submit(cells[i])
+		if !fresh {
+			t.Fatalf("cell %d: expected a fresh submission", i)
+		}
+		f.Wait() // complete before the next submit: deterministic LRU order
+		if got := p.MemoLen(); got > limit {
+			t.Fatalf("after %d cells: MemoLen = %d, exceeds limit %d", i+1, got, limit)
+		}
+	}
+	if got := p.MemoLen(); got != limit {
+		t.Fatalf("MemoLen = %d, want %d", got, limit)
+	}
+	if _, evicts := p.CacheStats(); evicts != len(cells)-limit {
+		t.Fatalf("evicts = %d, want %d", evicts, len(cells)-limit)
+	}
+	// The most recent cells are retained; the oldest were evicted and
+	// resubmit as fresh work.
+	if _, fresh := p.Submit(cells[len(cells)-1]); fresh {
+		t.Fatal("most recent cell was evicted")
+	}
+	if f, fresh := p.Submit(cells[0]); !fresh {
+		t.Fatal("oldest cell survived beyond the memo bound")
+	} else {
+		f.Wait()
+	}
+}
+
+func TestSetMemoLimitShrinkEvictsImmediately(t *testing.T) {
+	p := New(1)
+	for i := 0; i < 6; i++ {
+		f, _ := p.Submit(badCell(i))
+		f.Wait()
+	}
+	p.SetMemoLimit(2)
+	if got := p.MemoLen(); got != 2 {
+		t.Fatalf("MemoLen after shrink = %d, want 2", got)
+	}
+	p.SetMemoLimit(0) // unbounded again
+	for i := 6; i < 12; i++ {
+		f, _ := p.Submit(badCell(i))
+		f.Wait()
+	}
+	if got := p.MemoLen(); got != 8 {
+		t.Fatalf("MemoLen unbounded = %d, want 8", got)
+	}
+}
+
+// mapBacking is an in-memory Backing for tests.
+type mapBacking struct {
+	mu     sync.Mutex
+	m      map[string]*core.Result
+	loads  int
+	stores int
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string]*core.Result)} }
+
+func (b *mapBacking) Load(key string) (*core.Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	r, ok := b.m[key]
+	return r, ok
+}
+
+func (b *mapBacking) Store(key string, c core.Cell, res *core.Result) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = res
+}
+
+func TestBackingServesEvictedCells(t *testing.T) {
+	b := newMapBacking()
+	p := New(2)
+	p.SetBacking(b)
+	c := cell("lu", core.Standard, core.Optimal)
+	res1, err := p.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.stores != 1 {
+		t.Fatalf("stores = %d, want 1 after a fresh run", b.stores)
+	}
+	// A second pool sharing the backing serves the cell without
+	// simulating it.
+	p2 := New(2)
+	p2.SetBacking(b)
+	res2, err := p2.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res1 {
+		t.Fatal("backing returned a different result pointer than it stored")
+	}
+	if runs, _ := p2.Stats(); runs != 0 {
+		t.Fatalf("runs = %d, want 0 (served by backing)", runs)
+	}
+	if loads, _ := p2.CacheStats(); loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+}
+
 func TestSubmitRecoversPanickingCell(t *testing.T) {
 	p := New(2)
 	boom := cell("lu", core.Standard, core.Naive)

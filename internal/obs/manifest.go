@@ -24,6 +24,13 @@ type Manifest struct {
 	Seed     int64  `json:"seed"`
 	Runs     int    `json:"runs,omitempty"` // distinct simulations executed (nwbench)
 
+	// Sweep identity (nwsweep): the grid spec digest and the shard this
+	// manifest covers ("i/n" for shard outputs, the constant "merged" for
+	// the merge — shard-count-invariant so the merged manifest is byte-
+	// identical however the sweep was partitioned).
+	Spec  string `json:"spec,omitempty"`
+	Shard string `json:"shard,omitempty"`
+
 	// Params is the full simulation parameter set (param.Config JSON).
 	Params json.RawMessage `json:"params"`
 

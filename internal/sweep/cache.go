@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nwcache/internal/core"
+	"nwcache/internal/obs"
+)
+
+// Record is the deterministic result of one cell: everything a merged
+// sweep artifact carries per cell. Two runs of the same cell produce
+// byte-identical marshaled Records — wall-clock quantities live in the
+// cache Entry and the STATE file, never here.
+type Record struct {
+	Key       string           `json:"key"`
+	Label     string           `json:"label"`
+	App       string           `json:"app"`
+	Kind      string           `json:"kind"`
+	Mode      string           `json:"mode"`
+	Seed      int64            `json:"seed"`
+	FaultPlan string           `json:"fault_plan,omitempty"`
+	FaultSeed int64            `json:"fault_seed,omitempty"`
+	Recovery  string           `json:"recovery,omitempty"`
+	Result    *core.Result     `json:"result"`
+	Metrics   obs.Snapshot     `json:"metrics,omitempty"`
+	Series    []obs.SeriesData `json:"series,omitempty"`
+	// Digest is "sha256:<hex>" over the canonical JSON of Result — the
+	// content address every consumer (cache load, STATE replay, merge)
+	// re-verifies before trusting the record.
+	Digest string `json:"digest"`
+}
+
+// Line is one NDJSON line of a shard or merged sweep output: a Record
+// tagged with its grid index.
+type Line struct {
+	Idx int `json:"idx"`
+	Record
+}
+
+// Entry is one cache file: a Record plus the wall-clock cost of the run
+// that produced it.
+type Entry struct {
+	Record
+	DurationNS int64 `json:"duration_ns,omitempty"`
+}
+
+// ResultDigest returns the content address of a result: "sha256:<hex>"
+// over its canonical JSON.
+func ResultDigest(res *core.Result) string {
+	blob, err := json.Marshal(res)
+	if err != nil {
+		// Result is a plain struct of scalars and slices; cannot happen.
+		panic(fmt.Sprintf("sweep: hashing result: %v", err))
+	}
+	h := sha256.Sum256(blob)
+	return "sha256:" + hex.EncodeToString(h[:])
+}
+
+// NewRecord builds the deterministic record of one executed cell.
+func NewRecord(c core.Cell, res *core.Result, metrics obs.Snapshot, series []obs.SeriesData) Record {
+	return Record{
+		Key:       c.Key(),
+		Label:     c.Label(),
+		App:       c.App,
+		Kind:      c.Kind.String(),
+		Mode:      c.Mode.String(),
+		Seed:      c.Cfg.Seed,
+		FaultPlan: c.FaultPlan,
+		FaultSeed: c.FaultSeed,
+		Recovery:  c.Recovery,
+		Result:    res,
+		Metrics:   metrics,
+		Series:    series,
+		Digest:    ResultDigest(res),
+	}
+}
+
+// Verify recomputes the record's result digest and reports whether it
+// matches the stored content address.
+func (r *Record) Verify() bool {
+	return r.Result != nil && ResultDigest(r.Result) == r.Digest
+}
+
+// Cache is a content-addressed result cache directory: one JSON entry
+// per cell, addressed by core.Cell.Key and fanned out over 256
+// two-hex-digit subdirectories. Writes go through a temp file + rename
+// (atomic on POSIX) followed by a read-back verification, so concurrent
+// shard processes can share one cache directory: a racing double-write
+// of the same key is idempotent (same key → same bytes), and a torn
+// write can never be observed under the final name.
+//
+// Cache is safe for concurrent use and implements pool.Backing, so a
+// worker pool can route its memoization through it (Load/Store).
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	bad    int // entries rejected by digest verification
+	stores int
+}
+
+// OpenCache opens (creating if needed) the cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path fans the key out over its first byte.
+func (c *Cache) path(key string) string {
+	if len(key) < 2 {
+		return filepath.Join(c.dir, "xx", key+".json")
+	}
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get loads and digest-verifies the entry for key. A missing file is a
+// plain miss; an unreadable, undecodable, or digest-mismatched entry is
+// counted as corrupt and reported as a miss, so the cell re-runs
+// instead of silently serving bad bytes.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(&c.misses)
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(blob, &e); err != nil || e.Key != key || !e.Verify() {
+		c.count(&c.bad)
+		return nil, false
+	}
+	c.count(&c.hits)
+	return &e, true
+}
+
+// Put writes the entry with write-then-verify semantics: temp file,
+// sync, atomic rename, then a read-back of the final path that must
+// digest-verify.
+func (c *Cache) Put(e *Entry) error {
+	if e.Key == "" || e.Result == nil {
+		return fmt.Errorf("sweep: cache entry needs a key and a result")
+	}
+	if e.Digest == "" {
+		e.Digest = ResultDigest(e.Result)
+	}
+	final := c.path(e.Key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-"+e.Key[:8]+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Read-back verification: the entry under its final name must load
+	// and carry the right content address.
+	back, err := os.ReadFile(final)
+	if err != nil {
+		return fmt.Errorf("sweep: cache verify read %s: %w", final, err)
+	}
+	var check Entry
+	if err := json.Unmarshal(back, &check); err != nil || check.Key != e.Key || !check.Verify() {
+		return fmt.Errorf("sweep: cache verify failed for %s", final)
+	}
+	c.count(&c.stores)
+	return nil
+}
+
+// Load implements pool.Backing: a digest-verified cache read returning
+// only the result.
+func (c *Cache) Load(key string) (*core.Result, bool) {
+	e, ok := c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Store implements pool.Backing: persist a freshly computed result
+// (without metrics or series — pool consumers attach their own obs).
+// Backing stores are best-effort; an I/O failure only loses caching.
+func (c *Cache) Store(key string, cell core.Cell, res *core.Result) {
+	_ = c.Put(&Entry{Record: NewRecord(cell, res, nil, nil)})
+}
+
+// Stats reports cache traffic: verified hits, plain misses, entries
+// rejected by digest verification, and successful stores.
+func (c *Cache) Stats() (hits, misses, bad, stores int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.bad, c.stores
+}
+
+func (c *Cache) count(field *int) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nwcache/internal/core"
+)
+
+func fastCell(seed int64) core.Cell {
+	cfg := core.DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Seed = seed
+	return core.Cell{App: "gauss", Kind: core.Standard, Mode: core.Naive,
+		Cfg: core.ApplyPaperMinFree(cfg, core.Standard, core.Naive)}
+}
+
+func runCell(t *testing.T, c core.Cell) *core.Result {
+	t.Helper()
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCachePutGetRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastCell(1)
+	res := runCell(t, c)
+	e := &Entry{Record: NewRecord(c, res, nil, nil), DurationNS: 123}
+	if err := cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(c.Key())
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Digest != e.Digest || got.DurationNS != 123 || ResultDigest(got.Result) != ResultDigest(res) {
+		t.Fatalf("round trip mutated the entry: %+v", got)
+	}
+	if _, ok := cache.Get(stateKey(7)); ok {
+		t.Fatal("hit on a never-stored key")
+	}
+	hits, misses, bad, stores := cache.Stats()
+	if hits != 1 || misses != 1 || bad != 0 || stores != 1 {
+		t.Fatalf("Stats = %d/%d/%d/%d, want 1/1/0/1", hits, misses, bad, stores)
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastCell(1)
+	res := runCell(t, c)
+	if err := cache.Put(&Entry{Record: NewRecord(c, res, nil, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored result without updating the digest: the entry
+	// must be rejected (re-run), never served.
+	path := cache.path(c.Key())
+	blob, _ := os.ReadFile(path)
+	var e Entry
+	if err := json.Unmarshal(blob, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Result.ExecTime += 1000
+	blob, _ = json.Marshal(&e)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(c.Key()); ok {
+		t.Fatal("digest-mismatched entry was served")
+	}
+	if _, _, bad, _ := cache.Stats(); bad != 1 {
+		t.Fatalf("bad = %d, want 1", bad)
+	}
+	// Truncated JSON is equally a miss.
+	os.WriteFile(path, blob[:len(blob)/2], 0o644)
+	if _, ok := cache.Get(c.Key()); ok {
+		t.Fatal("truncated entry was served")
+	}
+}
+
+func TestCacheBackingLoadStore(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastCell(2)
+	res := runCell(t, c)
+	cache.Store(c.Key(), c, res)
+	got, ok := cache.Load(c.Key())
+	if !ok {
+		t.Fatal("Load missed a stored result")
+	}
+	if ResultDigest(got) != ResultDigest(res) {
+		t.Fatalf("Load returned %+v, want %+v", got, res)
+	}
+	if _, ok := cache.Load(stateKey(9)); ok {
+		t.Fatal("Load hit on a never-stored key")
+	}
+}

@@ -1,0 +1,490 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"nwcache/internal/core"
+	"nwcache/internal/exp/pool"
+	"nwcache/internal/machine"
+	"nwcache/internal/obs"
+	"nwcache/internal/stats"
+)
+
+// ErrIncomplete is returned by Runner.Run when the shard stopped before
+// finishing every cell (the -max-cells cap); re-running the same shard
+// resumes from the STATE file.
+var ErrIncomplete = errors.New("sweep: shard incomplete (resume to continue)")
+
+// Summary is the accounting of one shard run: how each owned cell was
+// satisfied. FromState cells were skipped via the STATE file (with a
+// digest-verified cache entry backing the record); FromCache cells had
+// no STATE record but a verified cache entry (e.g. completed by a
+// killed run's in-flight workers, or by an earlier overlapping sweep);
+// Fresh cells were actually simulated.
+type Summary struct {
+	Shard, Shards int
+	Cells         int
+	FromState     int
+	FromCache     int
+	Fresh         int
+	Done          bool
+}
+
+// String renders the one-line progress summary the CLI prints (and the
+// CI resume gate greps).
+func (s Summary) String() string {
+	status := "complete"
+	if !s.Done {
+		status = "incomplete"
+	}
+	return fmt.Sprintf("shard %d/%d %s: %d cells = %d state + %d cache + %d fresh",
+		s.Shard, s.Shards, status, s.Cells, s.FromState, s.FromCache, s.Fresh)
+}
+
+// Runner executes one shard of a sweep grid with checkpoint/resume.
+type Runner struct {
+	Spec   *Spec
+	Shard  int // shard index in [0, Shards)
+	Shards int // total shards (>= 1)
+	Dir    string
+
+	// Pool schedules the simulations (nil: a private GOMAXPROCS pool).
+	Pool *pool.Pool
+	// CacheDir overrides the cache location (default Dir/cache) so
+	// overlapping sweeps in different directories can share results.
+	CacheDir string
+	// MaxFresh, when > 0, stops the shard after that many fresh
+	// simulations — Run then returns ErrIncomplete and the next Run
+	// resumes. This is also how CI simulates a mid-sweep kill.
+	MaxFresh int
+	// Par and Pdes select the parallel fast paths for fresh cells
+	// (byte-identical results; excluded from cell keys).
+	Par  bool
+	Pdes int
+	// Progress, if set, is called with a label per fresh simulation.
+	Progress func(label string)
+
+	cache *Cache
+}
+
+// Paths within the sweep directory.
+func (r *Runner) statePath() string {
+	return filepath.Join(r.Dir, fmt.Sprintf("shard-%dof%d.state", r.Shard, r.Shards))
+}
+func (r *Runner) ndjsonPath() string {
+	return filepath.Join(r.Dir, fmt.Sprintf("shard-%dof%d.ndjson", r.Shard, r.Shards))
+}
+func (r *Runner) manifestPath() string {
+	return filepath.Join(r.Dir, fmt.Sprintf("shard-%dof%d.manifest.json", r.Shard, r.Shards))
+}
+
+// MergedPaths returns the merged artifact locations for a sweep
+// directory: the NDJSON of every cell record, the merged manifest, and
+// the merged series file (written only when the spec samples series).
+func MergedPaths(dir string) (ndjson, manifest, series string) {
+	return filepath.Join(dir, "merged.ndjson"),
+		filepath.Join(dir, "merged.manifest.json"),
+		filepath.Join(dir, "merged.series.ndjson")
+}
+
+// obsCapture holds the per-cell observability a fresh run produced.
+type obsCapture struct {
+	reg *obs.Registry
+	smp *obs.Sampler
+}
+
+// Run executes (or resumes) the shard: replay the STATE file, verify
+// cached cells, simulate what is missing through a bounded submission
+// window, checkpoint each completion, and — when every owned cell is
+// done — emit the shard's NDJSON + manifest by streaming back over the
+// cache. Returns ErrIncomplete when MaxFresh stopped the shard early.
+func (r *Runner) Run() (Summary, error) {
+	sum := Summary{Shard: r.Shard, Shards: r.Shards}
+	if r.Spec == nil || r.Dir == "" {
+		return sum, fmt.Errorf("sweep: runner needs a spec and a directory")
+	}
+	if r.Shards < 1 {
+		r.Shards = 1
+		sum.Shards = 1
+	}
+	if r.Shard < 0 || r.Shard >= r.Shards {
+		return sum, fmt.Errorf("sweep: shard %d out of range [0, %d)", r.Shard, r.Shards)
+	}
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return sum, err
+	}
+	cacheDir := r.CacheDir
+	if cacheDir == "" {
+		cacheDir = filepath.Join(r.Dir, "cache")
+	}
+	var err error
+	if r.cache, err = OpenCache(cacheDir); err != nil {
+		return sum, err
+	}
+	state, done, _, err := OpenState(r.statePath(), r.Spec.Digest(), r.Shard, r.Shards)
+	if err != nil {
+		return sum, err
+	}
+	defer state.Close()
+
+	sched := r.Pool
+	if sched == nil {
+		sched = pool.New(0)
+	}
+
+	// Per-key observability captures for fresh runs: the Obs hook fires
+	// once per executed simulation; memoized duplicates share the entry.
+	var (
+		obsMu   sync.Mutex
+		obsByKy = map[string]*obsCapture{}
+	)
+	hook := func(c core.Cell, m *machine.Machine) {
+		oc := &obsCapture{reg: obs.NewRegistry()}
+		m.Observe(oc.reg, nil)
+		if r.Spec.SeriesInterval > 0 {
+			oc.smp = obs.NewSampler(oc.reg, r.Spec.SeriesInterval, 0)
+			m.StartSampler(oc.smp)
+		}
+		obsMu.Lock()
+		obsByKy[c.Key()] = oc
+		obsMu.Unlock()
+	}
+
+	// Bounded submission window: enough in-flight cells to keep the
+	// pool busy without materializing a million futures.
+	window := 4 * sched.Workers()
+	if window < 16 {
+		window = 16
+	}
+	type pending struct {
+		fut   *pool.Future
+		cell  core.Cell
+		start time.Time
+	}
+	var inflight []pending
+	freshBudget := r.MaxFresh
+	capped := false
+
+	finish := func(p pending) error {
+		res, err := p.fut.Wait()
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", p.cell.Label(), err)
+		}
+		key := p.cell.Key()
+		obsMu.Lock()
+		oc := obsByKy[key]
+		delete(obsByKy, key)
+		obsMu.Unlock()
+		var snap obs.Snapshot
+		var series []obs.SeriesData
+		if oc != nil {
+			snap = oc.reg.Snapshot()
+			series = oc.smp.Export("")
+		}
+		e := &Entry{Record: NewRecord(p.cell, res, snap, series),
+			DurationNS: time.Since(p.start).Nanoseconds()}
+		if err := r.cache.Put(e); err != nil {
+			return err
+		}
+		return state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS})
+	}
+
+	err = r.Spec.EachShardCell(r.Shard, r.Shards, func(idx int, c core.Cell) error {
+		sum.Cells++
+		key := c.Key()
+		if rec, ok := done[key]; ok {
+			// STATE says done — but the record is only trusted when the
+			// cache entry is present, digest-verified, and matches the
+			// STATE digest; anything else re-runs the cell.
+			if e, ok := r.cache.Get(key); ok && e.Digest == rec.Digest {
+				sum.FromState++
+				return nil
+			}
+		} else if e, ok := r.cache.Get(key); ok {
+			// No STATE record, but a verified cache entry (an earlier
+			// sweep, or a killed run's completed-but-unrecorded cell):
+			// adopt it into the STATE file.
+			sum.FromCache++
+			return state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS})
+		}
+		if freshBudget == 0 && r.MaxFresh > 0 {
+			capped = true
+			return nil
+		}
+		c.Par = r.Par
+		c.Pdes = r.Pdes
+		c.Obs = hook
+		fut, fresh := sched.Submit(c)
+		if fresh {
+			if r.Progress != nil {
+				r.Progress(c.Label())
+			}
+		}
+		sum.Fresh++
+		if r.MaxFresh > 0 {
+			freshBudget--
+		}
+		inflight = append(inflight, pending{fut: fut, cell: c, start: time.Now()})
+		if len(inflight) >= window {
+			if err := finish(inflight[0]); err != nil {
+				return err
+			}
+			inflight = inflight[1:]
+		}
+		return nil
+	})
+	if err != nil {
+		return sum, err
+	}
+	for _, p := range inflight {
+		if err := finish(p); err != nil {
+			return sum, err
+		}
+	}
+	if capped {
+		return sum, ErrIncomplete
+	}
+	sum.Done = true
+	if err := r.emitShardOutputs(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+// emitShardOutputs streams the shard's cells back out of the cache into
+// the shard NDJSON (ascending grid index) and the shard manifest
+// (merged metrics, digest over the NDJSON bytes).
+func (r *Runner) emitShardOutputs() error {
+	f, err := os.Create(r.ndjsonPath())
+	if err != nil {
+		return err
+	}
+	dw := obs.NewDigestWriter(f)
+	enc := json.NewEncoder(dw)
+	var merged obs.Snapshot
+	cells := 0
+	start := time.Now()
+	err = r.Spec.EachShardCell(r.Shard, r.Shards, func(idx int, c core.Cell) error {
+		e, ok := r.cache.Get(c.Key())
+		if !ok {
+			return fmt.Errorf("sweep: cell %d (%s) missing from cache at emit time", idx, c.Label())
+		}
+		cells++
+		merged = merged.Merge(e.Metrics)
+		return enc.Encode(&Line{Idx: idx, Record: e.Record})
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	man, err := r.sweepManifest(cells, merged, dw.Sum())
+	if err != nil {
+		return err
+	}
+	man.WallNS = time.Since(start).Nanoseconds()
+	man.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	return man.WriteFile(r.manifestPath())
+}
+
+// sweepManifest builds the common manifest shell for shard and merged
+// outputs.
+func (r *Runner) sweepManifest(cells int, merged obs.Snapshot, digest string) (*obs.Manifest, error) {
+	return sweepManifest(r.Spec, fmt.Sprintf("%d/%d", r.Shard, r.Shards), cells, merged, digest)
+}
+
+func sweepManifest(spec *Spec, shard string, cells int, merged obs.Snapshot, digest string) (*obs.Manifest, error) {
+	params, err := json.Marshal(spec.BaseConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &obs.Manifest{
+		Tool:    "nwsweep",
+		Seed:    spec.Seeds[0],
+		Runs:    cells,
+		Spec:    spec.Digest(),
+		Shard:   shard,
+		Params:  params,
+		Metrics: merged,
+		Digest:  digest,
+	}, nil
+}
+
+// Merge streams the shard outputs of a completed sweep into the merged
+// artifacts: one NDJSON with every cell record in grid order, one
+// manifest whose metrics are the shard manifests folded together and
+// whose digest pins the merged NDJSON bytes, and (when the spec samples
+// series) one merged series file. Every cell's identity and digest is
+// re-verified against the spec during the merge, so a missing,
+// duplicated, or corrupted shard output fails loudly. The merged
+// manifest and NDJSON are wall-clock-free: two sweeps of the same grid
+// — interrupted or not, whatever the shard count — produce byte-
+// identical merged artifacts.
+//
+// The summary table (per-application cell counts and execution-time
+// rollups) is written to out.
+func Merge(spec *Spec, dir string, shards int, out io.Writer) (int, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	type shardIn struct {
+		f   *os.File
+		dec *json.Decoder
+	}
+	ins := make([]*shardIn, shards)
+	defer func() {
+		for _, in := range ins {
+			if in != nil {
+				in.f.Close()
+			}
+		}
+	}()
+	var mergedSnap obs.Snapshot
+	for i := 0; i < shards; i++ {
+		base := filepath.Join(dir, fmt.Sprintf("shard-%dof%d", i, shards))
+		f, err := os.Open(base + ".ndjson")
+		if err != nil {
+			return 0, fmt.Errorf("sweep: shard %d output missing (run the shard to completion first): %w", i, err)
+		}
+		ins[i] = &shardIn{f: f, dec: json.NewDecoder(f)}
+		mf, err := os.Open(base + ".manifest.json")
+		if err != nil {
+			return 0, err
+		}
+		man, err := obs.ReadManifest(mf)
+		mf.Close()
+		if err != nil {
+			return 0, err
+		}
+		if man.Spec != spec.Digest() {
+			return 0, fmt.Errorf("sweep: shard %d manifest belongs to spec %.12s…, want %.12s…", i, man.Spec, spec.Digest())
+		}
+		mergedSnap = mergedSnap.Merge(man.Metrics)
+	}
+
+	ndjsonPath, manifestPath, seriesPath := MergedPaths(dir)
+	f, err := os.Create(ndjsonPath)
+	if err != nil {
+		return 0, err
+	}
+	dw := obs.NewDigestWriter(f)
+	enc := json.NewEncoder(dw)
+	agg := make(map[string]*AppAggregate)
+	seriesByName := make(map[string]obs.SeriesData)
+	cells := 0
+	err = spec.EachCell(func(idx int, c core.Cell) error {
+		in := ins[ShardOf(idx, shards)]
+		var line Line
+		if err := in.dec.Decode(&line); err != nil {
+			return fmt.Errorf("sweep: shard %d output ended early at cell %d: %w", ShardOf(idx, shards), idx, err)
+		}
+		if line.Idx != idx || line.Key != c.Key() {
+			return fmt.Errorf("sweep: shard %d output out of order: got cell %d key %.12s…, want cell %d key %.12s…",
+				ShardOf(idx, shards), line.Idx, line.Key, idx, c.Key())
+		}
+		if !line.Verify() {
+			return fmt.Errorf("sweep: cell %d (%s) fails digest verification in shard output", idx, line.Label)
+		}
+		cells++
+		aggregateInto(agg, line.App, line.Result.ExecTime)
+		for _, sd := range line.Series {
+			if have, ok := seriesByName[sd.Name]; ok {
+				seriesByName[sd.Name] = have.Merge(sd)
+			} else {
+				sd.Run = ""
+				seriesByName[sd.Name] = sd
+			}
+		}
+		// Re-encode rather than copying raw bytes: the merged file's
+		// bytes are then canonical regardless of shard file formatting.
+		stripped := line
+		stripped.Series = nil // merged series live in their own artifact
+		return enc.Encode(&stripped)
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return cells, err
+	}
+	for _, in := range ins {
+		if in.dec.More() {
+			return cells, fmt.Errorf("sweep: a shard output has extra cells beyond the grid")
+		}
+	}
+
+	// The shard tag is a constant "merged" — not "merged/<n>" — so the
+	// merged manifest is byte-identical whatever the shard count was.
+	man, err := sweepManifest(spec, "merged", cells, mergedSnap, dw.Sum())
+	if err != nil {
+		return cells, err
+	}
+	if err := man.WriteFile(manifestPath); err != nil {
+		return cells, err
+	}
+
+	if spec.SeriesInterval > 0 && len(seriesByName) > 0 {
+		names := make([]string, 0, len(seriesByName))
+		for name := range seriesByName {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		series := make([]obs.SeriesData, 0, len(names))
+		for _, name := range names {
+			series = append(series, seriesByName[name])
+		}
+		sf, err := os.Create(seriesPath)
+		if err != nil {
+			return cells, err
+		}
+		err = obs.WriteSeriesNDJSON(sf, series)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return cells, err
+		}
+	}
+
+	if out != nil {
+		name := spec.Name
+		if name == "" {
+			name = "sweep"
+		}
+		t := &stats.Table{
+			// No shard count in the title: the summary, like the merged
+			// artifacts, must not depend on how the sweep was partitioned.
+			Title:   fmt.Sprintf("Sweep %s (%.12s…): %d cells", name, spec.Digest(), cells),
+			Headers: []string{"Application", "Cells", "MeanExec (Mpc)", "MinExec (Mpc)", "MaxExec (Mpc)"},
+		}
+		for _, a := range sortedAggregates(agg) {
+			t.AddRow(a.App, fmt.Sprintf("%d", a.Cells),
+				stats.FmtF(a.MeanExec/1e6, 2),
+				stats.FmtF(float64(a.MinExec)/1e6, 2),
+				stats.FmtF(float64(a.MaxExec)/1e6, 2))
+		}
+		fmt.Fprintln(out, t)
+	}
+	return cells, nil
+}
+
+// ReadLines streams a shard or merged NDJSON file, calling fn per cell
+// line (nwreport's sweep table input).
+func ReadLines(rd io.Reader, fn func(Line) error) error {
+	return readLines(rd, func(b []byte) error {
+		var line Line
+		if err := json.Unmarshal(b, &line); err != nil {
+			return fmt.Errorf("sweep: decoding cell line: %w", err)
+		}
+		return fn(line)
+	})
+}

@@ -1,0 +1,199 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwcache/internal/core"
+)
+
+const runnerSpecText = `
+name runner-test
+apps gauss
+kinds standard,nwcache
+modes naive
+seeds 1..2
+scale 0.05
+`
+
+func runnerSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseSpec(runnerSpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runSweep runs every shard of the spec to completion in dir and merges,
+// returning the merge summary bytes.
+func runSweep(t *testing.T, s *Spec, dir string, shards, maxFresh int) []byte {
+	t.Helper()
+	for i := 0; i < shards; i++ {
+		r := &Runner{Spec: s, Shard: i, Shards: shards, Dir: dir, MaxFresh: maxFresh}
+		for {
+			sum, err := r.Run()
+			if errors.Is(err, ErrIncomplete) {
+				if sum.Done {
+					t.Fatal("ErrIncomplete with Done summary")
+				}
+				continue // resume: the STATE file carries the progress
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sum.Done {
+				t.Fatalf("nil error but summary not done: %+v", sum)
+			}
+			break
+		}
+	}
+	var out bytes.Buffer
+	cells, err := Merge(s, dir, shards, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != s.NumCells() {
+		t.Fatalf("merged %d cells, want %d", cells, s.NumCells())
+	}
+	return out.Bytes()
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestInterruptedResumeIsByteIdentical(t *testing.T) {
+	s := runnerSpec(t)
+	ref, interrupted := t.TempDir(), t.TempDir()
+
+	// Reference: one uninterrupted run, single shard.
+	refOut := runSweep(t, s, ref, 1, 0)
+	// Interrupted: two shards, each killed after every fresh cell (the
+	// MaxFresh cap models a mid-sweep kill at a record boundary), resumed
+	// until done.
+	intOut := runSweep(t, s, interrupted, 2, 1)
+
+	refND, refMan, _ := MergedPaths(ref)
+	intND, intMan, _ := MergedPaths(interrupted)
+	if !bytes.Equal(readFileT(t, refND), readFileT(t, intND)) {
+		t.Fatal("merged NDJSON differs between uninterrupted and interrupted-resumed sweeps")
+	}
+	if !bytes.Equal(readFileT(t, refMan), readFileT(t, intMan)) {
+		t.Fatalf("merged manifest differs:\n%s\nvs\n%s", readFileT(t, refMan), readFileT(t, intMan))
+	}
+	if !bytes.Equal(refOut, intOut) {
+		t.Fatalf("merge summaries differ:\n%s\nvs\n%s", refOut, intOut)
+	}
+}
+
+func TestResumeAndWarmCacheRunZeroFreshCells(t *testing.T) {
+	s := runnerSpec(t)
+	dir := t.TempDir()
+	runSweep(t, s, dir, 1, 0)
+
+	// Leg 1: STATE intact — everything satisfied from the STATE file.
+	r := &Runner{Spec: s, Shard: 0, Shards: 1, Dir: dir}
+	sum, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fresh != 0 || sum.FromState != s.NumCells() {
+		t.Fatalf("warm STATE re-run: %+v, want all fromState", sum)
+	}
+
+	// Leg 2: STATE deleted, cache kept — everything adopted from the
+	// content-addressed cache, still zero fresh simulations.
+	if err := os.Remove(filepath.Join(dir, "shard-0of1.state")); err != nil {
+		t.Fatal(err)
+	}
+	r = &Runner{Spec: s, Shard: 0, Shards: 1, Dir: dir}
+	if sum, err = r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fresh != 0 || sum.FromCache != s.NumCells() {
+		t.Fatalf("warm cache re-run: %+v, want all fromCache", sum)
+	}
+}
+
+// firstCellKey returns the key of cell 0 of the grid.
+func firstCellKey(t *testing.T, s *Spec) string {
+	t.Helper()
+	var key string
+	if err := s.EachCell(func(idx int, c core.Cell) error {
+		if idx == 0 {
+			key = c.Key()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestDigestMismatchedCacheEntryReRuns(t *testing.T) {
+	s := runnerSpec(t)
+	dir := t.TempDir()
+	runSweep(t, s, dir, 1, 0)
+
+	// Tamper with one cache entry but keep it internally consistent
+	// (result mutated, digest re-signed): it still passes the cache's own
+	// verification, but no longer matches the STATE record's digest, so
+	// the cell must re-run rather than serve the tampered result.
+	cacheDir := filepath.Join(dir, "cache")
+	cache, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := firstCellKey(t, s)
+	blob := readFileT(t, cache.path(victim))
+	var e Entry
+	if err := json.Unmarshal(blob, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Result.ExecTime += 12345
+	e.Digest = ResultDigest(e.Result)
+	if err := cache.Put(&e); err != nil {
+		t.Fatal(err)
+	}
+
+	r := &Runner{Spec: s, Shard: 0, Shards: 1, Dir: dir}
+	sum, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fresh != 1 || sum.FromState != s.NumCells()-1 {
+		t.Fatalf("after tampering: %+v, want exactly one fresh re-run", sum)
+	}
+
+	// The re-run repaired both the cache entry and the STATE record: the
+	// next pass is all fromState again, and the merged artifacts match a
+	// clean sweep's.
+	r = &Runner{Spec: s, Shard: 0, Shards: 1, Dir: dir}
+	if sum, err = r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fresh != 0 || sum.FromState != s.NumCells() {
+		t.Fatalf("after repair: %+v, want all fromState", sum)
+	}
+	var out bytes.Buffer
+	if _, err := Merge(s, dir, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	clean := t.TempDir()
+	runSweep(t, s, clean, 1, 0)
+	dirtyND, _, _ := MergedPaths(dir)
+	cleanND, _, _ := MergedPaths(clean)
+	if !bytes.Equal(readFileT(t, dirtyND), readFileT(t, cleanND)) {
+		t.Fatal("repaired sweep's merged NDJSON differs from a clean sweep")
+	}
+}

@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"nwcache/internal/core"
+)
+
+const testSpecText = `
+# a small but multi-axis grid
+name unit
+apps em3d,gauss
+kinds standard,nwcache
+modes naive,optimal
+seeds 1..2
+scale 0.05
+param MinFreeFrames 2,8
+fault none
+fault recovery=conservative seed=3 plan=disk read-error rate=0.01
+`
+
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseSpec(testSpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseSpecAxes(t *testing.T) {
+	s := testSpec(t)
+	if got := s.NumCells(); got != 2*2*2*2*2*2 {
+		t.Fatalf("NumCells = %d, want 64", got)
+	}
+	if len(s.Faults) != 2 || !s.Faults[0].none() || s.Faults[1].Recovery != "conservative" {
+		t.Fatalf("fault axis parsed wrong: %+v", s.Faults)
+	}
+	if s.Faults[1].Plan != "disk read-error rate=0.01" {
+		t.Fatalf("plan = %q", s.Faults[1].Plan)
+	}
+	if s.Scale != 0.05 || s.Name != "unit" {
+		t.Fatalf("scale/name = %v/%q", s.Scale, s.Name)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec("scale 0.1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Apps) != len(core.Apps()) {
+		t.Fatalf("default apps = %v", s.Apps)
+	}
+	if len(s.Kinds) != 2 || len(s.Modes) != 2 || len(s.Seeds) != 1 || len(s.Faults) != 1 {
+		t.Fatalf("defaults: kinds=%d modes=%d seeds=%d faults=%d",
+			len(s.Kinds), len(s.Modes), len(s.Seeds), len(s.Faults))
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	for _, text := range []string{
+		"apps nosuchapp\n",
+		"param NoSuchField 1,2\n",
+		"param MinFreeFrames not-json\n",
+		"kinds hybrid\n",
+		"modes psychic\n",
+		"seeds 5..1\n",
+		"scale -1\n",
+		"bogus directive\n",
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted bad input", text)
+		}
+	}
+}
+
+func TestCanonRoundTrip(t *testing.T) {
+	s := testSpec(t)
+	s2, err := ParseSpec(s.Canon())
+	if err != nil {
+		t.Fatalf("Canon does not re-parse: %v\n%s", err, s.Canon())
+	}
+	if s.Canon() != s2.Canon() {
+		t.Fatalf("Canon not a fixed point:\n%s\nvs\n%s", s.Canon(), s2.Canon())
+	}
+	if s.Digest() != s2.Digest() {
+		t.Fatal("round-tripped spec has a different digest")
+	}
+	// A different grid must have a different identity.
+	other, err := ParseSpec(strings.Replace(testSpecText, "seeds 1..2", "seeds 1..3", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Digest() == s.Digest() {
+		t.Fatal("different grids share a digest")
+	}
+}
+
+func TestEachCellDeterministicAndComplete(t *testing.T) {
+	s := testSpec(t)
+	var keys1, keys2 []string
+	walk := func(out *[]string) {
+		if err := s.EachCell(func(idx int, c core.Cell) error {
+			if idx != len(*out) {
+				t.Fatalf("idx %d out of sequence (have %d cells)", idx, len(*out))
+			}
+			*out = append(*out, c.Key())
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walk(&keys1)
+	walk(&keys2)
+	if len(keys1) != s.NumCells() {
+		t.Fatalf("enumerated %d cells, NumCells says %d", len(keys1), s.NumCells())
+	}
+	seen := make(map[string]bool)
+	for i := range keys1 {
+		if keys1[i] != keys2[i] {
+			t.Fatalf("enumeration not deterministic at cell %d", i)
+		}
+		if seen[keys1[i]] {
+			t.Fatalf("duplicate cell key at index %d", i)
+		}
+		seen[keys1[i]] = true
+	}
+}
+
+func TestEachCellAppliesAxes(t *testing.T) {
+	s := testSpec(t)
+	minfree := make(map[int]int)
+	faulted := 0
+	if err := s.EachCell(func(idx int, c core.Cell) error {
+		minfree[c.Cfg.MinFreeFrames]++
+		if c.FaultPlan != "" {
+			faulted++
+			if c.Recovery != "conservative" || c.FaultSeed != 3 {
+				t.Fatalf("fault cell missing recovery/seed: %+v", c)
+			}
+		}
+		if c.Cfg.Scale != 0.05 {
+			t.Fatalf("cell scale = %v", c.Cfg.Scale)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The MinFreeFrames axis overrides the paper floor on every cell.
+	if minfree[2] != 32 || minfree[8] != 32 {
+		t.Fatalf("MinFreeFrames distribution = %v, want 32 each of 2 and 8", minfree)
+	}
+	if faulted != s.NumCells()/2 {
+		t.Fatalf("faulted cells = %d, want %d", faulted, s.NumCells()/2)
+	}
+}
+
+func TestPaperMinFreeAppliedWithoutAxis(t *testing.T) {
+	s, err := ParseSpec("apps gauss\nkinds standard,nwcache\nmodes naive,optimal\nscale 0.05\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EachCell(func(idx int, c core.Cell) error {
+		if want := core.PaperMinFree(c.Kind, c.Mode); c.Cfg.MinFreeFrames != want {
+			t.Fatalf("cell %d (%s): MinFreeFrames = %d, want paper %d",
+				idx, c.Label(), c.Cfg.MinFreeFrames, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardPartitionCompleteAndDisjoint(t *testing.T) {
+	s := testSpec(t)
+	total := s.NumCells()
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		owner := make([]int, total)
+		for i := range owner {
+			owner[i] = -1
+		}
+		for shard := 0; shard < n; shard++ {
+			count := 0
+			if err := s.EachShardCell(shard, n, func(idx int, c core.Cell) error {
+				if owner[idx] != -1 {
+					t.Fatalf("n=%d: cell %d owned by shards %d and %d", n, idx, owner[idx], shard)
+				}
+				if ShardOf(idx, n) != shard {
+					t.Fatalf("n=%d: cell %d delivered to shard %d, ShardOf says %d",
+						n, idx, shard, ShardOf(idx, n))
+				}
+				owner[idx] = shard
+				count++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if want := s.ShardSize(shard, n); count != want {
+				t.Fatalf("n=%d shard %d: %d cells, ShardSize says %d", n, shard, count, want)
+			}
+		}
+		for idx, o := range owner {
+			if o == -1 {
+				t.Fatalf("n=%d: cell %d owned by no shard", n, idx)
+			}
+		}
+	}
+}

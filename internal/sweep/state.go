@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The STATE file is the sweep's checkpoint: a line-based, append-only
+// progress log (the pattern of disko-san's progress file — every write
+// is synced and read back before it counts). One header line pins the
+// grid and shard the file belongs to; every subsequent line records one
+// completed cell:
+//
+//	nwsweep-state v1 spec=<hex> shard=<i>/<n>
+//	<cell-key> ok <result-digest> <duration_ns>
+//
+// Resume replays the file and skips recorded cells. The format is
+// deliberately tolerant of exactly the failures an interrupted sweep
+// produces:
+//
+//   - A truncated last line (the process died mid-append) is dropped
+//     with a count, never an error — its cell simply re-runs.
+//   - Duplicate keys (a resume recorded a cell the killed run had
+//     already appended, or two resumes raced) are idempotent: the last
+//     record wins.
+//   - A header naming a different spec digest or shard layout is a hard
+//     error: the file belongs to a different sweep and replaying it
+//     would silently mismerge grids.
+//
+// A recorded cell is only trusted in combination with the result cache:
+// the runner re-verifies the cache entry's digest against the STATE
+// line and re-runs the cell on any mismatch (see Runner).
+
+// stateMagic is the header prefix of a v1 STATE file.
+const stateMagic = "nwsweep-state v1"
+
+// StateRec is one replayed STATE line.
+type StateRec struct {
+	Key        string
+	Digest     string
+	DurationNS int64
+}
+
+// StateFile appends completed-cell records to an open STATE file with
+// write-then-verify semantics: every Append syncs the file and reads
+// the written bytes back before reporting success, so a record that
+// Append accepted survives the process dying on the very next
+// instruction.
+type StateFile struct {
+	f   *os.File
+	off int64 // verified file size
+}
+
+// OpenState opens (or creates) the STATE file at path for the given
+// spec digest and shard layout, replays any existing records, and
+// positions for appending. truncated counts dropped partial lines.
+func OpenState(path, specDigest string, shard, shards int) (sf *StateFile, done map[string]StateRec, truncated int, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, err
+	}
+	header := fmt.Sprintf("%s spec=%s shard=%d/%d", stateMagic, specDigest, shard, shards)
+	done = make(map[string]StateRec)
+	verified := 0 // bytes of blob that parse as complete records
+	if len(blob) > 0 {
+		done, verified, truncated, err = replayState(blob, header)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("sweep: %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Drop any trailing partial line so the next append starts on a
+	// clean record boundary.
+	if err := f.Truncate(int64(verified)); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	sf = &StateFile{f: f, off: int64(verified)}
+	if verified == 0 {
+		if err := sf.appendLine(header); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	return sf, done, truncated, nil
+}
+
+// replayState parses the file contents. verified is the byte length of
+// the complete-record prefix; a malformed line is only tolerated (and
+// counted) when it is the unterminated tail of the file.
+func replayState(blob []byte, wantHeader string) (done map[string]StateRec, verified, truncated int, err error) {
+	done = make(map[string]StateRec)
+	text := string(blob)
+	off := 0
+	first := true
+	for off < len(text) {
+		nl := strings.IndexByte(text[off:], '\n')
+		if nl < 0 {
+			// Unterminated tail: the process died mid-append. A record
+			// without its newline is never trusted — even one that
+			// happens to parse — so it is dropped and its cell re-runs.
+			truncated++
+			if first {
+				// The header itself never finished: start the log over.
+				return done, 0, truncated, nil
+			}
+			return done, verified, truncated, nil
+		}
+		line := text[off : off+nl]
+		off += nl + 1
+		if first {
+			if strings.TrimSpace(line) != wantHeader {
+				if strings.HasPrefix(line, stateMagic) {
+					return nil, 0, 0, fmt.Errorf("STATE header %q does not match this sweep (%q) — wrong spec or shard layout", line, wantHeader)
+				}
+				return nil, 0, 0, fmt.Errorf("not a nwsweep STATE file (header %q)", line)
+			}
+			first = false
+		} else if rec, ok := parseStateLine(line); ok {
+			done[rec.Key] = rec // duplicates (resume-of-resume): last record wins
+		} else {
+			return nil, 0, 0, fmt.Errorf("corrupt STATE line %q in the middle of the log", line)
+		}
+		verified = off
+	}
+	return done, verified, truncated, nil
+}
+
+// parseStateLine decodes "<key> ok <digest> <duration_ns>".
+func parseStateLine(line string) (StateRec, bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[1] != "ok" {
+		return StateRec{}, false
+	}
+	if len(fields[0]) != 64 || !isHex(fields[0]) {
+		return StateRec{}, false
+	}
+	if !strings.HasPrefix(fields[2], "sha256:") {
+		return StateRec{}, false
+	}
+	dur, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil || dur < 0 {
+		return StateRec{}, false
+	}
+	return StateRec{Key: fields[0], Digest: fields[2], DurationNS: dur}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Append records one completed cell. The record is written, synced, and
+// read back (write-then-verify) before Append returns nil.
+func (sf *StateFile) Append(rec StateRec) error {
+	return sf.appendLine(fmt.Sprintf("%s ok %s %d", rec.Key, rec.Digest, rec.DurationNS))
+}
+
+// appendLine writes line+"\n" at the verified offset, syncs, and
+// verifies the bytes landed.
+func (sf *StateFile) appendLine(line string) error {
+	payload := []byte(line + "\n")
+	if _, err := sf.f.WriteAt(payload, sf.off); err != nil {
+		return fmt.Errorf("sweep: STATE append: %w", err)
+	}
+	if err := sf.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: STATE sync: %w", err)
+	}
+	back := make([]byte, len(payload))
+	if _, err := sf.f.ReadAt(back, sf.off); err != nil {
+		return fmt.Errorf("sweep: STATE verify read: %w", err)
+	}
+	if string(back) != string(payload) {
+		return fmt.Errorf("sweep: STATE verify mismatch: wrote %q, read %q", payload, back)
+	}
+	sf.off += int64(len(payload))
+	return nil
+}
+
+// Close closes the underlying file.
+func (sf *StateFile) Close() error {
+	if sf == nil || sf.f == nil {
+		return nil
+	}
+	err := sf.f.Close()
+	sf.f = nil
+	return err
+}

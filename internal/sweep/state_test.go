@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDigestHex = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func stateKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func stateRec(i int) StateRec {
+	return StateRec{Key: stateKey(i), Digest: fmt.Sprintf("sha256:%064x", 1000+i), DurationNS: int64(i) * 7}
+}
+
+func TestStateAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.state")
+	sf, done, truncated, err := OpenState(path, testDigestHex, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 || truncated != 0 {
+		t.Fatalf("fresh STATE: done=%d truncated=%d", len(done), truncated)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sf.Append(stateRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, done, truncated, err = OpenState(path, testDigestHex, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 0 || len(done) != 3 {
+		t.Fatalf("replay: done=%d truncated=%d", len(done), truncated)
+	}
+	for i := 0; i < 3; i++ {
+		if done[stateKey(i)] != stateRec(i) {
+			t.Fatalf("record %d replayed as %+v", i, done[stateKey(i)])
+		}
+	}
+}
+
+func TestStateTruncatedLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.state")
+	sf, _, _, err := OpenState(path, testDigestHex, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Append(stateRec(0))
+	sf.Append(stateRec(1))
+	sf.Close()
+	// Chop bytes off the final record: the crash-mid-append case.
+	blob, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, blob[:len(blob)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, done, truncated, err := OpenState(path, testDigestHex, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", truncated)
+	}
+	if len(done) != 1 || done[stateKey(0)] != stateRec(0) {
+		t.Fatalf("done after truncation = %+v", done)
+	}
+	// The file was re-truncated to a record boundary: appending works and
+	// the next replay sees both records cleanly.
+	if err := sf.Append(stateRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	_, done, truncated, err = OpenState(path, testDigestHex, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 0 || len(done) != 2 {
+		t.Fatalf("after repair: done=%d truncated=%d", len(done), truncated)
+	}
+}
+
+func TestStateUnterminatedTailNeverTrusted(t *testing.T) {
+	// A tail line that happens to parse — but has no newline — must still
+	// be dropped: the write was not verified.
+	path := filepath.Join(t.TempDir(), "s.state")
+	sf, _, _, _ := OpenState(path, testDigestHex, 0, 1)
+	sf.Append(stateRec(0))
+	sf.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	fmt.Fprintf(f, "%s ok sha256:%064x 5", stateKey(1), 99) // no trailing \n
+	f.Close()
+	_, done, truncated, err := OpenState(path, testDigestHex, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 1 || len(done) != 1 {
+		t.Fatalf("done=%d truncated=%d, want 1/1", len(done), truncated)
+	}
+	if _, ok := done[stateKey(1)]; ok {
+		t.Fatal("unterminated record was trusted")
+	}
+}
+
+func TestStateDuplicateLinesLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.state")
+	sf, _, _, _ := OpenState(path, testDigestHex, 0, 1)
+	sf.Append(stateRec(0))
+	sf.Append(stateRec(1))
+	// Resume-of-resume: the same cell recorded again with a new digest.
+	dup := StateRec{Key: stateKey(0), Digest: fmt.Sprintf("sha256:%064x", 4242), DurationNS: 1}
+	sf.Append(dup)
+	sf.Close()
+	_, done, truncated, err := OpenState(path, testDigestHex, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 0 || len(done) != 2 {
+		t.Fatalf("done=%d truncated=%d, want 2/0", len(done), truncated)
+	}
+	if done[stateKey(0)] != dup {
+		t.Fatalf("duplicate key: got %+v, want the last record %+v", done[stateKey(0)], dup)
+	}
+}
+
+func TestStateRejectsForeignHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.state")
+	sf, _, _, _ := OpenState(path, testDigestHex, 0, 2)
+	sf.Append(stateRec(0))
+	sf.Close()
+	// Same file, different spec digest: hard error, not silent reuse.
+	other := strings.Repeat("ff", 32)
+	if _, _, _, err := OpenState(path, other, 0, 2); err == nil {
+		t.Fatal("STATE accepted a different spec digest")
+	}
+	// Same spec, different shard layout: also rejected.
+	if _, _, _, err := OpenState(path, testDigestHex, 0, 4); err == nil {
+		t.Fatal("STATE accepted a different shard layout")
+	}
+	// Not a STATE file at all.
+	junk := filepath.Join(dir, "junk.state")
+	os.WriteFile(junk, []byte("not a state file\n"), 0o644)
+	if _, _, _, err := OpenState(junk, testDigestHex, 0, 2); err == nil {
+		t.Fatal("OpenState accepted a non-STATE file")
+	}
+}
+
+func TestStateCorruptMiddleLineIsFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.state")
+	sf, _, _, _ := OpenState(path, testDigestHex, 0, 1)
+	sf.Append(stateRec(0))
+	sf.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	fmt.Fprintf(f, "garbage in the middle\n")
+	fmt.Fprintf(f, "%s ok %s %d\n", stateRec(1).Key, stateRec(1).Digest, stateRec(1).DurationNS)
+	f.Close()
+	if _, _, _, err := OpenState(path, testDigestHex, 0, 1); err == nil {
+		t.Fatal("corrupt terminated line in the middle of the log was tolerated")
+	}
+}
