@@ -9,6 +9,12 @@
 //	        [-cpuprofile out.pb.gz] [-memprofile out.pb.gz]
 //
 // With no selection flags, everything is printed (-all).
+//
+// Exit codes: 0 on success, 1 on error, 128+signal when killed by
+// SIGINT/SIGTERM. Every exit path — including signals and fatal
+// errors — restores the -watch dashboard's terminal state (cursor
+// visibility, ANSI attributes) first. Tables are cheap to re-run;
+// checkpointed, resumable execution lives in nwsweep's grid mode.
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"nwcache/internal/core"
@@ -42,7 +50,14 @@ type obsRun struct {
 	smp   *obs.Sampler
 }
 
+// watcher is the live dashboard, when -watch armed one; fatal and the
+// signal handler restore its terminal state before exiting (Restore
+// is nil-safe and idempotent).
+var watcher *obs.Watcher
+
 func main() {
+	// A panic must not strand the terminal with a hidden cursor.
+	defer func() { watcher.Restore() }()
 	var (
 		scale       = flag.Float64("scale", 1.0, "workload scale (1.0 = paper's Table 2 inputs)")
 		seed        = flag.Int64("seed", 1, "deterministic simulation seed")
@@ -129,15 +144,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nwbench: live telemetry on http://%s (/metrics, /series)\n", srv.Addr())
 		}
 		if *watch {
-			w := &obs.Watcher{Set: liveSet, Out: os.Stderr}
+			watcher = &obs.Watcher{Set: liveSet, Out: os.Stderr}
 			watchStop = make(chan struct{})
 			watchDone = make(chan struct{})
 			go func() {
 				defer close(watchDone)
-				w.Run(watchStop)
+				watcher.Run(watchStop)
 			}()
 		}
 	}
+
+	// SIGINT/SIGTERM: hand the terminal back and exit 128+signal.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		watcher.Restore()
+		fmt.Fprintf(os.Stderr, "nwbench: %v\n", sig)
+		if s, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(s))
+		}
+		os.Exit(1)
+	}()
 	if *traceOut != "" || *manifestOut != "" || wantSeries {
 		wantTrace := *traceOut != ""
 		intv := *seriesIntv
@@ -337,6 +365,7 @@ func writeSeries(path string, series []obs.SeriesData) error {
 }
 
 func fatal(err error) {
+	watcher.Restore() // os.Exit skips defers; hand the terminal back here
 	fmt.Fprintln(os.Stderr, "nwbench:", err)
 	os.Exit(1)
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	nwsim -app lu -machine nwcache -prefetch optimal [-scale 0.5] ...
+//
+// Exit codes: 0 on success, 1 on error, 128+signal when killed by
+// SIGINT/SIGTERM. On any exit path — including signals and fatal
+// errors — the -watch dashboard's terminal state (cursor visibility,
+// ANSI attributes) is restored first.
 package main
 
 import (
@@ -13,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"nwcache/internal/core"
@@ -27,7 +34,17 @@ import (
 	"nwcache/internal/param"
 )
 
+// watcher is the live dashboard, when -watch armed one. It is read by
+// fatal and the signal handler to hand the terminal back (cursor,
+// attributes) before the process dies; Restore is nil-safe and
+// idempotent, so every exit path may call it unconditionally.
+var watcher *obs.Watcher
+
 func main() {
+	// A panic while the dashboard is repainting must not strand the
+	// terminal with a hidden cursor (os.Exit paths go through fatal or
+	// the signal handler instead).
+	defer func() { watcher.Restore() }()
 	cfg := core.DefaultConfig()
 	var (
 		app        = flag.String("app", "lu", "application: "+strings.Join(core.Apps(), ", "))
@@ -256,16 +273,28 @@ func main() {
 				fmt.Fprintf(os.Stderr, "nwsim: live telemetry on http://%s (/metrics, /series)\n", srv.Addr())
 			}
 			if *watch {
-				w := &obs.Watcher{Set: set, Out: os.Stderr}
+				watcher = &obs.Watcher{Set: set, Out: os.Stderr}
 				watchStop = make(chan struct{})
 				watchDone = make(chan struct{})
 				go func() {
 					defer close(watchDone)
-					w.Run(watchStop)
+					watcher.Run(watchStop)
 				}()
 			}
 		}
 	}
+
+	// SIGINT/SIGTERM: restore the terminal (the dashboard hides the
+	// cursor) and exit with the conventional 128+signal code. Installed
+	// after the watcher exists so the handler sees it.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		watcher.Restore()
+		fmt.Fprintf(os.Stderr, "nwsim: %v\n", sig)
+		os.Exit(signalExitCode(sig))
+	}()
 
 	wall0 := time.Now()
 	res, err := m.Run(prog)
@@ -377,8 +406,18 @@ func writeSeries(path string, series []obs.SeriesData) error {
 }
 
 func fatal(err error) {
+	watcher.Restore() // os.Exit skips defers; hand the terminal back here
 	fmt.Fprintln(os.Stderr, "nwsim:", err)
 	os.Exit(1)
+}
+
+// signalExitCode maps a fatal signal to the conventional 128+N shell
+// exit code (130 for SIGINT, 143 for SIGTERM).
+func signalExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
 }
 
 // writeMemProfile snapshots the heap into path (no-op when empty). A GC

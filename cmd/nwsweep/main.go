@@ -31,13 +31,39 @@
 // A shard killed mid-sweep resumes exactly where it stopped (the STATE
 // file in -dir is replayed); re-running a completed shard — or an
 // overlapping sweep sharing the same -cache directory — executes zero
-// fresh cells. -max-cells caps fresh simulations per invocation (the
-// shard exits with code 3 while incomplete; invoke again to continue).
+// fresh cells. -max-cells caps fresh simulations per invocation.
 // -merge streams the shard outputs into merged.ndjson +
 // merged.manifest.json (+ merged.series.ndjson when the spec samples
 // series), which are byte-identical however the sweep was interrupted
 // or sharded. The classic table sweeps accept -cache too, routing the
 // worker pool's memoization through the same on-disk cache.
+//
+// # Supervision (grid mode)
+//
+// -cell-budget and -cell-stall arm a per-cell watchdog: a cell that
+// exceeds its wall-clock budget, or whose simulated clock stops
+// advancing for the stall window, is aborted and quarantined as a
+// STATE poison record — as is a cell that panics. The shard keeps
+// going; a later run with -retry-poison re-admits quarantined cells.
+// SIGINT/SIGTERM drain gracefully: the shard stops admitting cells,
+// finishes and checkpoints what is in flight, and exits resumable; a
+// second signal kills immediately with code 128+signal.
+//
+// -chaos-fs injects seeded host filesystem faults (see
+// internal/guard's chaos plans) under the sweep directory, and
+// -chaos-panic makes matching cells panic — both exist so CI can
+// prove the supervision layer end to end.
+//
+// # Exit codes (grid mode)
+//
+//	0  the shard (or merge) completed
+//	1  hard error: bad flags, corrupt inputs, terminal I/O failure
+//	3  incomplete but resumable: -max-cells budget spent, or a
+//	   signal drained the shard; invoke again to continue
+//	4  every cell has a STATE record but poisoned cells remain;
+//	   re-run with -retry-poison (or fix the cell) to clear them
+//
+//	128+signal  a second SIGINT/SIGTERM forced an immediate exit
 package main
 
 import (
@@ -45,12 +71,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/guard"
 	"nwcache/internal/stats"
 	"nwcache/internal/sweep"
+)
+
+// Exit codes of the grid mode, also documented in the package comment.
+const (
+	exitOK         = 0
+	exitHard       = 1
+	exitIncomplete = 3
+	exitPoisoned   = 4
 )
 
 func main() {
@@ -72,12 +112,26 @@ func main() {
 		shards   = flag.Int("shards", 1, "total shard count for -merge")
 		par      = flag.Bool("par", false, "pipelined op-stream generation for fresh cells (grid mode)")
 		pdes     = flag.Int("pdes", 0, "windowed PDES shard-group width for fresh cells (grid mode)")
+
+		cellBudget  = flag.Duration("cell-budget", 0, "wall-clock budget per cell; over-budget cells are aborted and quarantined (grid mode; 0 = unlimited)")
+		cellStall   = flag.Duration("cell-stall", 0, "abort a cell whose simulated clock stops advancing for this long (grid mode; 0 = never)")
+		retryPoison = flag.Bool("retry-poison", false, "re-admit cells quarantined by an earlier run's poison records (grid mode)")
+		ioRetries   = flag.Int("io-retries", 0, "attempts per transient host I/O fault before giving up (grid mode; 0 = guard default)")
+		chaosFS     = flag.String("chaos-fs", "", "chaos plan file: inject seeded host filesystem faults under -dir (grid mode; see internal/guard)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for the -chaos-fs fault stream")
+		chaosPanic  = flag.String("chaos-panic", "", "panic cells whose label (plus ' seed=N') contains this substring (grid mode; supervision test hook)")
 	)
 	flag.Parse()
 
 	if *gridSpec != "" {
-		runGrid(*gridSpec, *dir, *shard, *cacheDir, *jobs, *maxCells, *shards, *merge, *par, *pdes, *quiet)
-		return
+		os.Exit(runGrid(gridOpts{
+			specPath: *gridSpec, dir: *dir, shardSpec: *shard, cacheDir: *cacheDir,
+			jobs: *jobs, maxCells: *maxCells, shards: *shards,
+			doMerge: *merge, par: *par, pdes: *pdes, quiet: *quiet,
+			cellBudget: *cellBudget, cellStall: *cellStall, retryPoison: *retryPoison,
+			ioRetries: *ioRetries,
+			chaosFS:   *chaosFS, chaosSeed: *chaosSeed, chaosPanic: *chaosPanic,
+		}))
 	}
 
 	mode := core.Optimal
@@ -403,55 +457,139 @@ func main() {
 	}
 }
 
+// gridOpts carries the grid mode's flag values.
+type gridOpts struct {
+	specPath, dir, shardSpec, cacheDir string
+	jobs, maxCells, shards             int
+	doMerge, par                       bool
+	pdes                               int
+	quiet                              bool
+
+	cellBudget, cellStall time.Duration
+	retryPoison           bool
+	ioRetries             int
+	chaosFS               string
+	chaosSeed             uint64
+	chaosPanic            string
+}
+
 // runGrid is the scale-out sweep mode: run one shard of a grid spec
 // with checkpoint/resume (or, with doMerge, stream completed shard
-// outputs into the merged artifacts).
-func runGrid(specPath, dir, shardSpec, cacheDir string, jobs, maxCells, shards int, doMerge, par bool, pdes int, quiet bool) {
-	if dir == "" {
+// outputs into the merged artifacts). Returns the process exit code
+// (see the package comment's taxonomy).
+func runGrid(o gridOpts) int {
+	if o.dir == "" {
 		fatal(fmt.Errorf("grid mode needs -dir"))
 	}
-	spec, err := sweep.ParseSpecFile(specPath)
+	spec, err := sweep.ParseSpecFile(o.specPath)
 	if err != nil {
 		fatal(err)
 	}
-	if doMerge {
-		cells, err := sweep.Merge(spec, dir, shards, os.Stdout)
+
+	// Optional chaos filesystem, scoped to the sweep directory so the
+	// injected faults can never touch unrelated host files.
+	var fsys guard.FS
+	if o.chaosFS != "" {
+		raw, err := os.ReadFile(o.chaosFS)
 		if err != nil {
 			fatal(err)
 		}
-		if !quiet {
-			fmt.Fprintf(os.Stderr, "nwsweep: merged %d cells from %d shards\n", cells, shards)
+		plan, err := guard.ParseChaos(string(raw))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", o.chaosFS, err))
 		}
-		return
+		cfs := guard.NewChaosFS(nil, plan, o.chaosSeed, o.dir)
+		defer func() {
+			st := cfs.Stats()
+			fmt.Fprintf(os.Stderr,
+				"nwsweep: chaos: %d/%d syncs, %d/%d writes (%d torn, %d enospc), %d/%d reads, %d/%d renames faulted\n",
+				st.SyncFails, st.Syncs, st.ShortWrites+st.ENOSPCs, st.Writes, st.ShortWrites, st.ENOSPCs,
+				st.ReadFails, st.Reads, st.RenameFails, st.Renames)
+		}()
+		fsys = cfs
 	}
-	i, n, err := parseShard(shardSpec)
+
+	if o.doMerge {
+		cells, err := sweep.MergeOn(fsys, nil, spec, o.dir, o.shards, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if !o.quiet {
+			fmt.Fprintf(os.Stderr, "nwsweep: merged %d cells from %d shards\n", cells, o.shards)
+		}
+		return exitOK
+	}
+	i, n, err := parseShard(o.shardSpec)
 	if err != nil {
 		fatal(err)
 	}
+
+	// Graceful drain: the first SIGINT/SIGTERM stops cell admission —
+	// in-flight cells finish and checkpoint, the shard exits resumable
+	// (code 3). A second signal kills immediately with 128+signal.
+	var draining atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		draining.Store(true)
+		fmt.Fprintf(os.Stderr, "nwsweep: %v — draining (signal again to kill)\n", sig)
+		sig = <-sigc
+		fmt.Fprintf(os.Stderr, "nwsweep: %v — killed\n", sig)
+		if s, ok := sig.(syscall.Signal); ok {
+			os.Exit(128 + int(s))
+		}
+		os.Exit(exitHard)
+	}()
+
 	r := &sweep.Runner{
-		Spec:     spec,
-		Shard:    i,
-		Shards:   n,
-		Dir:      dir,
-		Pool:     pool.New(jobs),
-		CacheDir: cacheDir,
-		MaxFresh: maxCells,
-		Par:      par,
-		Pdes:     pdes,
+		Spec:        spec,
+		Shard:       i,
+		Shards:      n,
+		Dir:         o.dir,
+		Pool:        pool.New(o.jobs),
+		CacheDir:    o.cacheDir,
+		MaxFresh:    o.maxCells,
+		Par:         o.par,
+		Pdes:        o.pdes,
+		FS:          fsys,
+		Guard:       guard.CellGuard{Budget: o.cellBudget, Stall: o.cellStall},
+		RetryPoison: o.retryPoison,
+		Draining:    draining.Load,
+		OnPoison: func(c core.Cell, reason string) {
+			fmt.Fprintf(os.Stderr, "nwsweep: poisoned %s: %s\n", c.Label(), reason)
+		},
 	}
-	if !quiet {
+	if o.ioRetries > 0 {
+		// A wider budget than the guard default: chaos plans (and
+		// genuinely flaky filesystems) can burn several attempts on one
+		// deterministic fault window before the first clean try.
+		pol := guard.DefaultRetryPolicy(0)
+		pol.Max = o.ioRetries
+		r.Retry = guard.NewRetrier(pol)
+	}
+	if o.chaosPanic != "" {
+		r.Sabotage = func(c core.Cell) bool {
+			return strings.Contains(fmt.Sprintf("%s seed=%d", c.Label(), c.Cfg.Seed), o.chaosPanic)
+		}
+	}
+	if !o.quiet {
 		r.Progress = func(label string) {
 			fmt.Fprintf(os.Stderr, "running %s...\n", label)
 		}
 	}
 	sum, err := r.Run()
 	fmt.Fprintf(os.Stderr, "nwsweep: %s\n", sum)
-	if errors.Is(err, sweep.ErrIncomplete) {
-		os.Exit(3)
-	}
-	if err != nil {
+	switch {
+	case errors.Is(err, sweep.ErrIncomplete):
+		return exitIncomplete
+	case errors.Is(err, sweep.ErrPoisoned):
+		fmt.Fprintln(os.Stderr, "nwsweep:", err)
+		return exitPoisoned
+	case err != nil:
 		fatal(err)
 	}
+	return exitOK
 }
 
 // parseShard decodes "i/n".

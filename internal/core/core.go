@@ -25,6 +25,7 @@ import (
 	"nwcache/internal/machine"
 	"nwcache/internal/optical"
 	"nwcache/internal/param"
+	"nwcache/internal/sim"
 	"nwcache/internal/workload"
 )
 
@@ -215,6 +216,15 @@ type Cell struct {
 	// byte-identical to a serial one by construction, so either may
 	// serve a memoized request for the other.
 	Pdes int `json:"-"`
+
+	// Probe, when non-nil, is the supervision progress probe attached to
+	// the machine before the run (machine.AttachProgress): the engine
+	// publishes its clock through it and honors watchdog aborts at probe
+	// boundaries. Excluded from Key on purpose: supervision never
+	// changes a result — an aborted cell produces an error, not a
+	// Result, so nothing wrong is ever memoized. Serial engines only
+	// (see machine.AttachProgress for the PDES caveat).
+	Probe *sim.Progress `json:"-"`
 }
 
 // Run executes the cell on a fresh machine.
@@ -256,6 +266,9 @@ func (c Cell) Run() (*Result, error) {
 			return nil, err
 		}
 		m.AttachFaults(fault.NewInjector(plan, c.FaultSeed, policy))
+	}
+	if c.Probe != nil {
+		m.AttachProgress(c.Probe)
 	}
 	if c.Obs != nil {
 		c.Obs(c, m)

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"nwcache/internal/core"
 )
@@ -61,6 +62,43 @@ func (f *Future) Cell() core.Cell { return f.cell }
 func (f *Future) Wait() (*core.Result, error) {
 	<-f.done
 	return f.res, f.err
+}
+
+// WaitTimeout blocks up to d for the cell to finish. ok reports
+// whether it did; on false the result and error are meaningless and
+// the cell is still running. This is the supervision primitive: a
+// watchdog polls WaitTimeout between probe checks instead of
+// committing to an unbounded Wait on a possibly-wedged cell.
+func (f *Future) WaitTimeout(d time.Duration) (res *core.Result, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.res, f.err, true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.done:
+		return f.res, f.err, true
+	case <-t.C:
+		return nil, nil, false
+	}
+}
+
+// PanicError is the structured error a panicking cell is converted
+// into: the pool contains the crash to the one future (siblings
+// finish) and the sweep fabric persists it as a poison record instead
+// of re-crashing the shard on resume.
+type PanicError struct {
+	Cell  core.Cell
+	Key   string
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: cell %s (key %.12s…) panicked: %v\n%s",
+		e.Cell.Label(), e.Key, e.Value, e.Stack)
 }
 
 // Pool is a bounded worker pool with a cell-key memo cache. The zero Pool
@@ -166,11 +204,12 @@ func (p *Pool) Submit(c core.Cell) (f *Future, fresh bool) {
 		defer close(f.done)
 		defer func() {
 			// A panicking cell must not take down the whole matrix: convert
-			// the crash into this cell's error and let its siblings finish.
+			// the crash into this cell's typed error and let its siblings
+			// finish (the sweep fabric classifies *PanicError into a
+			// poison record).
 			if r := recover(); r != nil {
 				f.res = nil
-				f.err = fmt.Errorf("pool: cell %s (key %.12s…) panicked: %v\n%s",
-					c.Label(), key, r, debug.Stack())
+				f.err = &PanicError{Cell: c, Key: key, Value: r, Stack: debug.Stack()}
 			}
 		}()
 		if b != nil {

@@ -1,9 +1,11 @@
 package pool
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nwcache/internal/core"
 	"nwcache/internal/machine"
@@ -290,5 +292,43 @@ func TestSubmitRecoversPanickingCell(t *testing.T) {
 	// The pool survives: sibling cells still complete normally.
 	if _, err := p.Run(cell("lu", core.NWCache, core.Naive)); err != nil {
 		t.Fatalf("pool broken after a panicking cell: %v", err)
+	}
+}
+
+func TestPanicErrorIsTyped(t *testing.T) {
+	p := New(1)
+	boom := cell("lu", core.Standard, core.Naive)
+	boom.Obs = func(core.Cell, *machine.Machine) { panic("typed crash") }
+	_, err := p.Run(boom)
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("panic error is %T, want *PanicError", err)
+	}
+	if perr.Value != "typed crash" || perr.Key != boom.Key() || len(perr.Stack) == 0 {
+		t.Fatalf("PanicError fields incomplete: value=%v key=%.12s stack=%d bytes",
+			perr.Value, perr.Key, len(perr.Stack))
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	slow := cell("lu", core.Standard, core.Naive)
+	slow.Obs = func(core.Cell, *machine.Machine) { <-release }
+	f, fresh := p.Submit(slow)
+	if !fresh {
+		t.Fatal("expected fresh submission")
+	}
+	if _, _, ok := f.WaitTimeout(10 * time.Millisecond); ok {
+		t.Fatal("WaitTimeout reported a blocked cell done")
+	}
+	close(release)
+	res, err, ok := f.WaitTimeout(30 * time.Second)
+	if !ok || err != nil || res == nil {
+		t.Fatalf("WaitTimeout after release = %v, %v, %v", res, err, ok)
+	}
+	// A completed future answers instantly regardless of d.
+	if _, _, ok := f.WaitTimeout(0); !ok {
+		t.Fatal("WaitTimeout(0) on a done future reported not-done")
 	}
 }

@@ -1,0 +1,31 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan pins the fault-plan parser's robustness contract:
+// arbitrary input never panics, and any accepted plan round-trips
+// through its canonical rendering — Parse(p.String()) succeeds and
+// renders byte-identically. The canonical form is what fault matrices
+// and chaos CI jobs persist, so a drifting round-trip would silently
+// change which failures replay.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("disk read-error rate=0.01 retries=3 backoff=500\n")
+	f.Add("disk bad-block disk=* block=42\ndisk degraded disk=0 from=100 until=900 mult=4\n")
+	f.Add("ring corrupt rate=0.002\nring outage node=* from=0 until=50\n")
+	f.Add("node crash node=3 at=1000\nmesh flap node=1 dir=east from=5 until=25\n")
+	f.Add("# comment only\n\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\nplan:\n%s", err, s1)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("String not a fixpoint:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	})
+}

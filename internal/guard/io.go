@@ -1,0 +1,55 @@
+package guard
+
+import "io"
+
+// RetryWriter wraps a writer so transient failures degrade instead of
+// kill: a short/torn write resumes from the written prefix, an EINTR
+// or ENOSPC blip is retried under the Retrier's budget. With a nil
+// Retrier it is a plain pass-through plus short-write completion.
+type RetryWriter struct {
+	W io.Writer
+	R *Retrier
+}
+
+func (rw RetryWriter) Write(p []byte) (int, error) {
+	written := 0
+	err := rw.R.Do(func() error {
+		n, werr := rw.W.Write(p[written:])
+		if n > 0 {
+			written += n
+		}
+		if written == len(p) {
+			return nil
+		}
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		return werr
+	})
+	return written, err
+}
+
+// RetryReader wraps a reader, absorbing transient zero-progress read
+// failures (EINTR semantics: the call consumed nothing, so retrying
+// from the same position is safe). Reads that made progress or failed
+// terminally pass through untouched.
+type RetryReader struct {
+	Rd io.Reader
+	R  *Retrier
+}
+
+func (rr RetryReader) Read(p []byte) (int, error) {
+	var n int
+	var rerr error
+	err := rr.R.Do(func() error {
+		n, rerr = rr.Rd.Read(p)
+		if rerr != nil && n == 0 && rerr != io.EOF && IsTransient(rerr) {
+			return rerr // consumed nothing: safe to retry
+		}
+		return nil // success, EOF, progress, or terminal — pass through
+	})
+	if err != nil {
+		return n, err // retry budget exhausted
+	}
+	return n, rerr
+}

@@ -1,0 +1,153 @@
+package guard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds how hard guard fights a transient host fault.
+// The zero value means "no retries" (one attempt, no sleeps), which
+// keeps the disabled path free.
+type RetryPolicy struct {
+	// Max is the total number of attempts (>= 1). 1 or 0 means a
+	// single attempt with no retry.
+	Max int
+	// Base is the backoff before the first retry; each further retry
+	// doubles it, capped at Cap.
+	Base time.Duration
+	// Cap bounds a single backoff sleep. Zero means no cap.
+	Cap time.Duration
+	// Seed drives the deterministic jitter stream. Two Retriers with
+	// the same Seed sleep the same schedule for the same sequence of
+	// attempts — chaos runs stay reproducible end to end.
+	Seed uint64
+	// Sleep replaces time.Sleep; tests inject a recorder, the sweep
+	// fabric leaves it nil.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy the CLIs thread through the sweep
+// fabric when supervision is enabled: 5 attempts, 10ms..640ms
+// backoff, so an ENOSPC window a few operations wide is crossed
+// without turning a genuinely full disk into a spin loop.
+func DefaultRetryPolicy(seed uint64) RetryPolicy {
+	return RetryPolicy{Max: 5, Base: 10 * time.Millisecond, Cap: 640 * time.Millisecond, Seed: seed}
+}
+
+// Retrier executes operations under a RetryPolicy. It is safe for
+// concurrent use; the jitter stream is a shared atomic counter hashed
+// with the seed, so concurrent callers draw distinct but
+// deterministic-given-order jitters.
+//
+// A nil *Retrier is valid and runs each operation exactly once with
+// zero overhead — the disabled mode.
+type Retrier struct {
+	pol      RetryPolicy
+	draws    atomic.Uint64 // jitter stream position
+	attempts atomic.Uint64 // total op executions
+	retries  atomic.Uint64 // executions beyond each op's first
+	gaveUp   atomic.Uint64 // ops that exhausted the budget
+}
+
+// NewRetrier builds a Retrier for pol. Max < 1 is treated as 1.
+func NewRetrier(pol RetryPolicy) *Retrier {
+	if pol.Max < 1 {
+		pol.Max = 1
+	}
+	return &Retrier{pol: pol}
+}
+
+// Do runs op, retrying transient failures (per Classify) with
+// exponential backoff and deterministic jitter until it succeeds,
+// fails terminally, or exhausts the attempt budget. The returned
+// error is the last failure, annotated with the attempt count when
+// the budget was spent.
+//
+// op must be safe to re-run from scratch: guard's callers satisfy
+// this with idempotent designs (write-then-verify appends at a fixed
+// offset, temp+rename cache puts) rather than by resuming partial
+// state inside op.
+func (r *Retrier) Do(op func() error) error {
+	if r == nil {
+		return op()
+	}
+	var err error
+	for attempt := 0; attempt < r.pol.Max; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			r.sleep(attempt)
+		}
+		r.attempts.Add(1)
+		if err = op(); err == nil {
+			return nil
+		}
+		if Classify(err) == Terminal {
+			return err
+		}
+	}
+	r.gaveUp.Add(1)
+	return fmt.Errorf("guard: gave up after %d attempts: %w", r.pol.Max, err)
+}
+
+// sleep blocks for the attempt'th backoff (attempt >= 1): Base<<(n-1)
+// capped at Cap, then jittered into [1/2, 1) of that span so
+// concurrent retriers don't stampede in lockstep.
+func (r *Retrier) sleep(attempt int) {
+	d := r.pol.Base
+	if d <= 0 {
+		return
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if r.pol.Cap > 0 && d >= r.pol.Cap {
+			d = r.pol.Cap
+			break
+		}
+	}
+	if r.pol.Cap > 0 && d > r.pol.Cap {
+		d = r.pol.Cap
+	}
+	// Deterministic jitter: hash (seed, draw index) into [0.5, 1.0).
+	draw := r.draws.Add(1) - 1
+	h := splitmix64(r.pol.Seed + 0x9e3779b97f4a7c15*draw)
+	frac := float64(h>>11) / float64(1<<53) // [0, 1)
+	d = time.Duration(float64(d) * (0.5 + frac/2))
+	if d <= 0 {
+		return
+	}
+	if r.pol.Sleep != nil {
+		r.pol.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// RetryStats is a snapshot of a Retrier's counters, reported by the
+// CLIs after a chaos run so the injected-fault coverage is visible.
+type RetryStats struct {
+	Attempts uint64 // operation executions, including first tries
+	Retries  uint64 // executions beyond each operation's first
+	GaveUp   uint64 // operations that exhausted the attempt budget
+}
+
+// Stats returns a snapshot of the retry counters. Safe on nil.
+func (r *Retrier) Stats() RetryStats {
+	if r == nil {
+		return RetryStats{}
+	}
+	return RetryStats{
+		Attempts: r.attempts.Load(),
+		Retries:  r.retries.Load(),
+		GaveUp:   r.gaveUp.Load(),
+	}
+}
+
+// splitmix64 is the standard SplitMix64 finalizer — the same mixer
+// internal/fault and internal/workload use for cheap seeded streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -202,3 +202,51 @@ func TestWatcherRenders(t *testing.T) {
 		t.Fatalf("watch output missing metric name:\n%q", out)
 	}
 }
+
+func TestWatcherRestoresTerminal(t *testing.T) {
+	reg, _, _, _ := sampleReg()
+	s := NewSampler(reg, 10, 0)
+	set := &LiveSet{}
+	set.Add(s.Publish("lu/standard/naive"))
+	var sb strings.Builder
+	w := &Watcher{Set: set, Out: &sb, Every: time.Millisecond}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(stop)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	<-done
+	out := sb.String()
+	if !strings.Contains(out, ansiCursorHide) {
+		t.Fatalf("dashboard never hid the cursor:\n%q", out)
+	}
+	if !strings.HasSuffix(out, ansiReset+ansiCursorShow+"\n") {
+		t.Fatalf("dashboard exit did not restore the terminal:\n%q", out[len(out)-40:])
+	}
+	// Restore is idempotent: a racing signal handler calling it again
+	// must not emit a second restore sequence.
+	before := sb.Len()
+	w.Restore()
+	if sb.Len() != before {
+		t.Fatal("second Restore emitted bytes")
+	}
+}
+
+func TestWatcherRenderSuppressedAfterRestore(t *testing.T) {
+	reg, _, _, _ := sampleReg()
+	s := NewSampler(reg, 10, 0)
+	set := &LiveSet{}
+	set.Add(s.Publish("lu"))
+	var sb strings.Builder
+	w := &Watcher{Set: set, Out: &sb, Every: time.Millisecond, Rows: 4, Width: 8}
+	w.hist = map[string][]float64{}
+	w.Restore() // signal handler handed the terminal back first
+	before := sb.Len()
+	w.render(false)
+	if sb.Len() != before {
+		t.Fatal("render repainted after the terminal was restored")
+	}
+}

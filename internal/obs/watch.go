@@ -4,9 +4,20 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nwcache/internal/stats"
+)
+
+// ANSI control sequences the dashboard emits. The cursor is hidden
+// while frames repaint (a visible cursor strobes across the redraw)
+// and must be shown again on every exit path — including signals and
+// panics, via Restore.
+const (
+	ansiCursorHide = "\x1b[?25l"
+	ansiCursorShow = "\x1b[?25h"
+	ansiReset      = "\x1b[0m"
 )
 
 // Watcher renders a LiveSet as an ANSI terminal dashboard: one block per
@@ -15,6 +26,14 @@ import (
 // rate and therefore never perturbs the simulation; write it to stderr
 // so the run's primary stdout (and its determinism digest) stays
 // byte-identical.
+//
+// Run hides the terminal cursor for the duration of the dashboard and
+// restores it when it returns — but a process killed by a signal (or
+// dying in a panic outside the watcher goroutine) never reaches that
+// path and used to leave the user's terminal with the cursor hidden
+// and attributes set. Callers must therefore route interrupt handlers
+// and fatal exits through Restore, which is safe to call from any
+// goroutine, at any time, any number of times.
 type Watcher struct {
 	Set   *LiveSet
 	Out   io.Writer
@@ -22,7 +41,19 @@ type Watcher struct {
 	Rows  int           // max metric rows per run (default 10)
 	Width int           // sparkline width (default 48)
 
-	hist map[string][]float64 // (run + "\x00" + metric) -> recent values
+	hist     map[string][]float64 // (run + "\x00" + metric) -> recent values
+	restored atomic.Bool          // terminal already restored; render stops repainting
+}
+
+// Restore resets terminal attributes and re-shows the cursor. It is
+// idempotent and safe to call concurrently with a running dashboard:
+// the first call wins, later frames are suppressed, so a signal
+// handler racing the render loop cannot re-hide the cursor.
+func (w *Watcher) Restore() {
+	if w == nil || w.restored.Swap(true) {
+		return
+	}
+	io.WriteString(w.Out, ansiReset+ansiCursorShow+"\n")
 }
 
 // watchPrefer orders metric prefixes by dashboard interest; metrics
@@ -44,7 +75,8 @@ func preferRank(name string) int {
 }
 
 // Run redraws the dashboard until stop closes, then renders one final
-// frame and returns.
+// frame, restores the terminal, and returns. The terminal is restored
+// even if a render panics; see Restore for the signal-handler path.
 func (w *Watcher) Run(stop <-chan struct{}) {
 	if w.Every <= 0 {
 		w.Every = 250 * time.Millisecond
@@ -56,6 +88,8 @@ func (w *Watcher) Run(stop <-chan struct{}) {
 		w.Width = 48
 	}
 	w.hist = make(map[string][]float64)
+	io.WriteString(w.Out, ansiCursorHide)
+	defer w.Restore()
 	ticker := time.NewTicker(w.Every)
 	defer ticker.Stop()
 	for {
@@ -72,6 +106,11 @@ func (w *Watcher) Run(stop <-chan struct{}) {
 // render draws one frame. final switches the header so the last frame
 // reads as a summary rather than a stale spinner.
 func (w *Watcher) render(final bool) {
+	if w.restored.Load() {
+		// The terminal was already handed back (a signal handler beat
+		// us); repainting would re-corrupt it.
+		return
+	}
 	frames := w.Set.Frames()
 	var sb strings.Builder
 	// Home the cursor and clear below: repaint without scrollback spam.

@@ -130,6 +130,17 @@ type Engine struct {
 	// distinct timestamp (the same cost class as the tick boundary), so
 	// serial runs pay nothing for the feature.
 	horizon Time
+
+	// Progress probe (AttachProgress): at each probe boundary crossed,
+	// dispatch publishes the clock into progress and honors a pending
+	// abort request — the watchdog's only way into the engine. Detached,
+	// nextProbe is the `never` sentinel (same cost class as the tick
+	// boundary). aborted carries the abort reason from the boundary
+	// check to Run's teardown.
+	probeEvery Time
+	nextProbe  Time
+	progress   *Progress
+	aborted    string
 }
 
 // New returns an empty engine at time 0.
@@ -138,11 +149,12 @@ func New() *Engine {
 		// Capacity 1 so a control hand-over is one buffered send (no
 		// rendezvous double-park); tokens strictly alternate, so a
 		// buffer never holds more than one.
-		main:     make(chan struct{}, 1),
-		back:     make(chan struct{}, 1),
-		stopAt:   noLimit,
-		nextTick: never,
-		horizon:  never,
+		main:      make(chan struct{}, 1),
+		back:      make(chan struct{}, 1),
+		stopAt:    noLimit,
+		nextTick:  never,
+		horizon:   never,
+		nextProbe: never,
 	}
 }
 
@@ -309,6 +321,22 @@ func (e *Engine) nextInstant() *event {
 		}
 	}
 	e.now = t
+	if t >= e.nextProbe {
+		// Probe boundary: publish the clock for the watchdog and honor
+		// a pending abort. Like the tick hook this consumes no sequence
+		// numbers and schedules nothing, so dispatch order is untouched;
+		// an abort finishes the event nextInstant returns, then stops
+		// (the same finish-then-stop semantics as the livelock guard).
+		for t >= e.nextProbe {
+			e.nextProbe += e.probeEvery
+		}
+		e.progress.now.Store(t)
+		if e.progress.abortRequested() {
+			e.aborted = e.progress.abortReason()
+			e.tripped = true
+			e.stopped = true
+		}
+	}
 	first := e.heapPop()
 	for len(e.heap) > 0 && e.heap[0].t == t {
 		e.ready = append(e.ready, e.heapPop())
@@ -548,6 +576,7 @@ func (e *Engine) blockedProcs() (blocked []BlockedProc, daemons int) {
 func (e *Engine) Run() error {
 	e.stopped = false
 	e.tripped = false
+	e.aborted = ""
 	if e.drive(nil) == driveHanded {
 		// A proc holds the driver token; procs keep dispatching among
 		// themselves and hand the token back when the queues drain (or
@@ -555,6 +584,9 @@ func (e *Engine) Run() error {
 		<-e.main
 	}
 	if e.tripped {
+		if e.aborted != "" {
+			return e.abortTeardown()
+		}
 		return e.livelockTeardown()
 	}
 	if e.stopped {
@@ -577,11 +609,15 @@ func (e *Engine) RunUntil(horizon Time) error {
 	e.horizon = horizon
 	e.stopped = false
 	e.tripped = false
+	e.aborted = ""
 	if e.drive(nil) == driveHanded {
 		<-e.main
 	}
 	e.horizon = never
 	if e.tripped {
+		if e.aborted != "" {
+			return e.abortTeardown()
+		}
 		return e.livelockTeardown()
 	}
 	return nil

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The engine publishes its clock into the attached Progress at every
+// probe boundary crossed by dispatch.
+func TestProgressPublishesAtBoundaries(t *testing.T) {
+	e := New()
+	p := &Progress{Every: 10}
+	e.AttachProgress(p)
+	if p.SimNow() != 0 {
+		t.Fatalf("initial publish %d, want 0", p.SimNow())
+	}
+	var seen []int64
+	for _, at := range []Time{3, 25, 47} {
+		at := at
+		e.At(at, func() { seen = append(seen, p.SimNow()) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Event at 3 crossed no boundary (probe still 0); events at 25 and
+	// 47 see their own instants published (25 and 47 are past the 20-
+	// and 40-boundaries, and the probe publishes the instant itself).
+	want := []int64{0, 25, 47}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("published clocks %v, want %v", seen, want)
+		}
+	}
+}
+
+// Attaching a probe must not change what the simulation computes:
+// same events, same order, same final clock (the SetTick neutrality
+// property, inherited by the probe).
+func TestProgressDoesNotPerturbDispatch(t *testing.T) {
+	run := func(probe bool) ([]Time, Time) {
+		e := New()
+		if probe {
+			e.AttachProgress(&Progress{Every: 7})
+		}
+		var got []Time
+		for _, d := range []Time{50, 10, 30, 20, 40, 30} {
+			d := d
+			e.At(d, func() { got = append(got, d) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got, e.Now()
+	}
+	base, baseNow := run(false)
+	probed, probedNow := run(true)
+	if baseNow != probedNow {
+		t.Fatalf("final time %d with probe, %d without", probedNow, baseNow)
+	}
+	for i := range base {
+		if base[i] != probed[i] {
+			t.Fatalf("dispatch order changed: %v vs %v", base, probed)
+		}
+	}
+}
+
+// RequestAbort lands at the next probe boundary: Run unwinds every
+// process (no goroutine leaks, defers run) and returns an *AbortError
+// carrying the supervisor's reason.
+func TestProgressAbortUnwindsCleanly(t *testing.T) {
+	e := New()
+	p := &Progress{Every: 10}
+	e.AttachProgress(p)
+	var unwound bool
+	e.Spawn("worker", func(pr *Proc) {
+		defer func() { unwound = true }()
+		for {
+			pr.Sleep(5)
+		}
+	})
+	e.Spawn("supervisorless", func(pr *Proc) {
+		// Aborts from inside the simulation are indistinguishable from
+		// external ones at the boundary; trigger one mid-run.
+		pr.Sleep(23)
+		p.RequestAbort("timeout")
+		pr.Sleep(1000)
+	})
+	err := e.Run()
+	var aerr *AbortError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("Run = %v, want *AbortError", err)
+	}
+	if aerr.Reason != "timeout" {
+		t.Fatalf("reason %q, want timeout", aerr.Reason)
+	}
+	if !unwound {
+		t.Fatal("worker's defer did not run: abort leaked the proc")
+	}
+	if aerr.Now < 23 || aerr.Now > 40 {
+		t.Fatalf("abort landed at t=%d, want shortly after the request at 23", aerr.Now)
+	}
+}
+
+// An abort requested from another goroutine (the real watchdog shape)
+// is honored promptly and the error identifies the reason.
+func TestProgressAbortCrossGoroutine(t *testing.T) {
+	e := New()
+	p := &Progress{Every: 100}
+	e.AttachProgress(p)
+	e.Spawn("spinner", func(pr *Proc) {
+		for {
+			pr.Sleep(50)
+		}
+	})
+	go func() {
+		// Wait until the sim has demonstrably advanced, then pull the plug.
+		for p.SimNow() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		p.RequestAbort("stalled")
+	}()
+	err := e.Run()
+	var aerr *AbortError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("Run = %v, want *AbortError", err)
+	}
+	if aerr.Reason != "stalled" {
+		t.Fatalf("reason %q, want stalled", aerr.Reason)
+	}
+}
+
+// AttachProgress(nil) detaches: no publishes, no abort checks.
+func TestProgressDetach(t *testing.T) {
+	e := New()
+	p := &Progress{Every: 10}
+	e.AttachProgress(p)
+	e.AttachProgress(nil)
+	p.RequestAbort("too late")
+	e.At(100, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.SimNow() != 0 {
+		t.Fatalf("detached probe published %d", p.SimNow())
+	}
+}
+
+// Progress.EventLimit arms the livelock guard through the same attach
+// call the sweep fabric uses.
+func TestProgressEventLimit(t *testing.T) {
+	e := New()
+	e.AttachProgress(&Progress{Every: 10, EventLimit: 100})
+	e.Spawn("storm", func(pr *Proc) {
+		for {
+			pr.Sleep(1)
+		}
+	})
+	err := e.Run()
+	var lerr *LivelockError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("Run = %v, want *LivelockError", err)
+	}
+}
+
+// After an abort teardown the engine is reusable: the probe is
+// detached and a fresh run completes normally.
+func TestProgressEngineReusableAfterAbort(t *testing.T) {
+	e := New()
+	p := &Progress{Every: 10}
+	e.AttachProgress(p)
+	p.RequestAbort("timeout")
+	e.Spawn("w", func(pr *Proc) { pr.Sleep(100) })
+	var aerr *AbortError
+	if err := e.Run(); !errors.As(err, &aerr) {
+		t.Fatalf("Run = %v, want *AbortError", err)
+	}
+	ran := false
+	e.At(e.Now()+5, func() { ran = true })
+	if err := e.Run(); err != nil || !ran {
+		t.Fatalf("post-abort run: %v (ran=%v)", err, ran)
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"nwcache/internal/core"
+	"nwcache/internal/guard"
 	"nwcache/internal/obs"
 )
 
@@ -98,7 +98,9 @@ func (r *Record) Verify() bool {
 // Cache is safe for concurrent use and implements pool.Backing, so a
 // worker pool can route its memoization through it (Load/Store).
 type Cache struct {
-	dir string
+	dir   string
+	fsys  guard.FS
+	retry *guard.Retrier
 
 	mu     sync.Mutex
 	hits   int
@@ -109,10 +111,20 @@ type Cache struct {
 
 // OpenCache opens (creating if needed) the cache directory.
 func OpenCache(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenCacheOn(nil, nil, dir)
+}
+
+// OpenCacheOn is OpenCache through an explicit filesystem and retry
+// budget: fsys is the host seam (nil: the real OS) and retry bounds
+// transient-I/O retries on every Get read and the whole Put sequence
+// (nil: one attempt). Put is retry-safe end to end because the rename
+// is atomic and two writes of the same key produce the same bytes.
+func OpenCacheOn(fsys guard.FS, retry *guard.Retrier, dir string) (*Cache, error) {
+	fsys = guard.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, fsys: fsys, retry: retry}, nil
 }
 
 // Dir returns the cache directory.
@@ -131,7 +143,12 @@ func (c *Cache) path(key string) string {
 // counted as corrupt and reported as a miss, so the cell re-runs
 // instead of silently serving bad bytes.
 func (c *Cache) Get(key string) (*Entry, bool) {
-	blob, err := os.ReadFile(c.path(key))
+	var blob []byte
+	err := c.retry.Do(func() error {
+		var rerr error
+		blob, rerr = c.fsys.ReadFile(c.path(key))
+		return rerr
+	})
 	if err != nil {
 		c.count(&c.misses)
 		return nil, false
@@ -147,7 +164,10 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 
 // Put writes the entry with write-then-verify semantics: temp file,
 // sync, atomic rename, then a read-back of the final path that must
-// digest-verify.
+// digest-verify. The whole sequence is retried under the cache's retry
+// budget — each attempt uses a fresh temp file and the rename is
+// atomic, so a failed attempt never leaves a torn entry under the
+// final name.
 func (c *Cache) Put(e *Entry) error {
 	if e.Key == "" || e.Result == nil {
 		return fmt.Errorf("sweep: cache entry needs a key and a result")
@@ -156,47 +176,58 @@ func (c *Cache) Put(e *Entry) error {
 		e.Digest = ResultDigest(e.Result)
 	}
 	final := c.path(e.Key)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		return err
-	}
 	blob, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-"+e.Key[:8]+"-*")
+	if err := c.retry.Do(func() error { return c.putOnce(final, e.Key, blob) }); err != nil {
+		return err
+	}
+	c.count(&c.stores)
+	return nil
+}
+
+// putOnce is one complete Put attempt: temp write, sync, atomic
+// rename, digest-verified read-back.
+func (c *Cache) putOnce(final, key string, blob []byte) error {
+	if err := c.fsys.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	tmp, err := c.fsys.CreateTemp(filepath.Dir(final), ".tmp-"+key[:8]+"-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		c.fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		c.fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		c.fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := c.fsys.Rename(tmpName, final); err != nil {
+		c.fsys.Remove(tmpName)
 		return err
 	}
 	// Read-back verification: the entry under its final name must load
 	// and carry the right content address.
-	back, err := os.ReadFile(final)
+	back, err := c.fsys.ReadFile(final)
 	if err != nil {
 		return fmt.Errorf("sweep: cache verify read %s: %w", final, err)
 	}
 	var check Entry
-	if err := json.Unmarshal(back, &check); err != nil || check.Key != e.Key || !check.Verify() {
-		return fmt.Errorf("sweep: cache verify failed for %s", final)
+	if err := json.Unmarshal(back, &check); err != nil || check.Key != key || !check.Verify() {
+		// A fresh attempt rewrites the entry from scratch; treat the
+		// bad read-back as transient so the retry budget can repair it.
+		return guard.MarkTransient(fmt.Errorf("sweep: cache verify failed for %s", final))
 	}
-	c.count(&c.stores)
 	return nil
 }
 

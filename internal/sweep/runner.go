@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -13,40 +12,59 @@ import (
 
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
+	"nwcache/internal/guard"
 	"nwcache/internal/machine"
 	"nwcache/internal/obs"
+	"nwcache/internal/sim"
 	"nwcache/internal/stats"
 )
 
 // ErrIncomplete is returned by Runner.Run when the shard stopped before
-// finishing every cell (the -max-cells cap); re-running the same shard
-// resumes from the STATE file.
+// finishing every cell (the -max-cells cap, or a graceful drain);
+// re-running the same shard resumes from the STATE file.
 var ErrIncomplete = errors.New("sweep: shard incomplete (resume to continue)")
+
+// ErrPoisoned is returned by Runner.Run when every owned cell has a
+// STATE record but some of those records are poison quarantines: the
+// shard cannot emit its outputs (a quarantined cell has no result) and
+// the poisoned cells need a -retry-poison pass or a fix. The CLI maps
+// this to its own exit code so CI can tell "poisoned" from "broken".
+var ErrPoisoned = errors.New("sweep: poisoned cells remain (re-run with -retry-poison, or fix and retry)")
 
 // Summary is the accounting of one shard run: how each owned cell was
 // satisfied. FromState cells were skipped via the STATE file (with a
 // digest-verified cache entry backing the record); FromCache cells had
 // no STATE record but a verified cache entry (e.g. completed by a
 // killed run's in-flight workers, or by an earlier overlapping sweep);
-// Fresh cells were actually simulated.
+// Fresh cells were actually simulated. Poisoned counts cells
+// quarantined by a panic or a watchdog verdict — fresh quarantines and
+// replayed poison records alike; PoisonRetried counts replayed poison
+// records that were re-admitted under RetryPoison.
 type Summary struct {
 	Shard, Shards int
 	Cells         int
 	FromState     int
 	FromCache     int
 	Fresh         int
+	Poisoned      int
+	PoisonRetried int
 	Done          bool
 }
 
 // String renders the one-line progress summary the CLI prints (and the
-// CI resume gate greps).
+// CI resume gate greps). The poison suffix only appears when cells
+// were quarantined, so clean runs keep the historical format.
 func (s Summary) String() string {
 	status := "complete"
 	if !s.Done {
 		status = "incomplete"
 	}
-	return fmt.Sprintf("shard %d/%d %s: %d cells = %d state + %d cache + %d fresh",
+	line := fmt.Sprintf("shard %d/%d %s: %d cells = %d state + %d cache + %d fresh",
 		s.Shard, s.Shards, status, s.Cells, s.FromState, s.FromCache, s.Fresh)
+	if s.Poisoned > 0 {
+		line += fmt.Sprintf(" (%d poisoned)", s.Poisoned)
+	}
+	return line
 }
 
 // Runner executes one shard of a sweep grid with checkpoint/resume.
@@ -71,6 +89,37 @@ type Runner struct {
 	Pdes int
 	// Progress, if set, is called with a label per fresh simulation.
 	Progress func(label string)
+
+	// FS is the host filesystem seam for everything the shard persists
+	// (STATE, cache, shard outputs). nil: the real OS. The chaos
+	// harness injects seeded faults here.
+	FS guard.FS
+	// Retry bounds transient host-I/O retries on STATE appends and
+	// cache traffic. nil: a retrier with guard.DefaultRetryPolicy(0),
+	// so ENOSPC/EINTR/short-write blips degrade instead of killing the
+	// shard.
+	Retry *guard.Retrier
+	// Guard supervises each fresh cell with a wall-clock budget and a
+	// stuck-run watchdog (the zero value disables supervision — cells
+	// are waited on unbounded, exactly as before the guard layer).
+	// Violations quarantine the cell as a STATE poison record; the
+	// shard keeps going.
+	Guard guard.CellGuard
+	// RetryPoison re-admits cells whose replayed STATE record is a
+	// poison quarantine (the -retry-poison pass).
+	RetryPoison bool
+	// Draining, when it reports true, makes the shard stop admitting
+	// cells: in-flight cells finish and checkpoint, then Run returns
+	// ErrIncomplete so a later run resumes. This is the signal-drain
+	// hook — the CLI flips it on SIGINT/SIGTERM.
+	Draining func() bool
+	// OnPoison, if set, is called once per freshly quarantined cell.
+	OnPoison func(c core.Cell, reason string)
+	// Sabotage, if set, makes matching cells panic inside their
+	// simulation (through the observability hook, so the cell key is
+	// unchanged). This exists for the chaos harness — a deliberately
+	// panicking cell proves the quarantine path end to end.
+	Sabotage func(c core.Cell) bool
 
 	cache *Cache
 }
@@ -118,7 +167,12 @@ func (r *Runner) Run() (Summary, error) {
 	if r.Shard < 0 || r.Shard >= r.Shards {
 		return sum, fmt.Errorf("sweep: shard %d out of range [0, %d)", r.Shard, r.Shards)
 	}
-	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+	fsys := guard.Or(r.FS)
+	retry := r.Retry
+	if retry == nil {
+		retry = guard.NewRetrier(guard.DefaultRetryPolicy(0))
+	}
+	if err := fsys.MkdirAll(r.Dir, 0o755); err != nil {
 		return sum, err
 	}
 	cacheDir := r.CacheDir
@@ -126,10 +180,10 @@ func (r *Runner) Run() (Summary, error) {
 		cacheDir = filepath.Join(r.Dir, "cache")
 	}
 	var err error
-	if r.cache, err = OpenCache(cacheDir); err != nil {
+	if r.cache, err = OpenCacheOn(fsys, retry, cacheDir); err != nil {
 		return sum, err
 	}
-	state, done, _, err := OpenState(r.statePath(), r.Spec.Digest(), r.Shard, r.Shards)
+	state, done, _, err := OpenStateOn(fsys, retry, r.statePath(), r.Spec.Digest(), r.Shard, r.Shards)
 	if err != nil {
 		return sum, err
 	}
@@ -147,6 +201,9 @@ func (r *Runner) Run() (Summary, error) {
 		obsByKy = map[string]*obsCapture{}
 	)
 	hook := func(c core.Cell, m *machine.Machine) {
+		if r.Sabotage != nil && r.Sabotage(c) {
+			panic(fmt.Sprintf("sweep: sabotaged cell %s", c.Label()))
+		}
 		oc := &obsCapture{reg: obs.NewRegistry()}
 		m.Observe(oc.reg, nil)
 		if r.Spec.SeriesInterval > 0 {
@@ -167,15 +224,62 @@ func (r *Runner) Run() (Summary, error) {
 	type pending struct {
 		fut   *pool.Future
 		cell  core.Cell
+		probe *sim.Progress
 		start time.Time
 	}
 	var inflight []pending
 	freshBudget := r.MaxFresh
 	capped := false
 
+	// poison quarantines one cell: its STATE record becomes a poison
+	// line instead of crashing (or hard-failing) the shard, and the
+	// remaining cells keep going.
+	poison := func(p pending, reason string) error {
+		sum.Poisoned++
+		obsMu.Lock()
+		delete(obsByKy, p.cell.Key())
+		obsMu.Unlock()
+		if r.OnPoison != nil {
+			r.OnPoison(p.cell, reason)
+		}
+		return state.AppendPoison(p.cell.Key(), reason, time.Since(p.start).Nanoseconds())
+	}
+
 	finish := func(p pending) error {
+		if r.Guard.Enabled() {
+			// Supervised wait: the watchdog polls the future, tracks
+			// simulated-time progress through the probe, and aborts a
+			// cell that blows its budget or stops advancing. A wedged
+			// cell (ignored the abort past the grace period) is
+			// abandoned, never joined — its goroutine and pool slot
+			// leak, but its STATE and cache are untouched, so a resume
+			// retries it cleanly.
+			var probe guard.Prober
+			if p.probe != nil {
+				probe = p.probe
+			}
+			verdict := r.Guard.Supervise(func(d time.Duration) bool {
+				_, _, ok := p.fut.WaitTimeout(d)
+				return ok
+			}, probe)
+			if verdict == guard.VerdictWedged {
+				return poison(p, verdict.String())
+			}
+			if verdict != guard.VerdictOK {
+				p.fut.Wait() // completed within grace: drain the abort error
+				return poison(p, verdict.String())
+			}
+		}
 		res, err := p.fut.Wait()
 		if err != nil {
+			var perr *pool.PanicError
+			if errors.As(err, &perr) {
+				return poison(p, "panic")
+			}
+			var aerr *sim.AbortError
+			if errors.As(err, &aerr) {
+				return poison(p, aerr.Reason)
+			}
 			return fmt.Errorf("sweep: cell %s: %w", p.cell.Label(), err)
 		}
 		key := p.cell.Key()
@@ -201,10 +305,21 @@ func (r *Runner) Run() (Summary, error) {
 		sum.Cells++
 		key := c.Key()
 		if rec, ok := done[key]; ok {
-			// STATE says done — but the record is only trusted when the
-			// cache entry is present, digest-verified, and matches the
-			// STATE digest; anything else re-runs the cell.
-			if e, ok := r.cache.Get(key); ok && e.Digest == rec.Digest {
+			if rec.Status == StatusPoison {
+				// A quarantined cell: skipped (the shard will report
+				// ErrPoisoned) unless this is a retry pass, in which
+				// case it falls through to a fresh submission and a
+				// new "ok" record supersedes the poison line.
+				if !r.RetryPoison {
+					sum.Poisoned++
+					return nil
+				}
+				sum.PoisonRetried++
+			} else if e, ok := r.cache.Get(key); ok && e.Digest == rec.Digest {
+				// STATE says done — but the record is only trusted when
+				// the cache entry is present, digest-verified, and
+				// matches the STATE digest; anything else re-runs the
+				// cell.
 				sum.FromState++
 				return nil
 			}
@@ -219,9 +334,24 @@ func (r *Runner) Run() (Summary, error) {
 			capped = true
 			return nil
 		}
+		if r.Draining != nil && r.Draining() {
+			// Graceful drain: stop admitting cells. In-flight cells
+			// finish and checkpoint below, then Run reports
+			// ErrIncomplete so the next invocation resumes.
+			capped = true
+			return nil
+		}
 		c.Par = r.Par
 		c.Pdes = r.Pdes
 		c.Obs = hook
+		var probe *sim.Progress
+		if r.Guard.Enabled() {
+			// One probe per submission; the machine attaches it only on
+			// serial cells (PDES shard groups have no mid-window
+			// teardown), and it is excluded from the cell key.
+			probe = &sim.Progress{Every: sim.DefaultProbeEvery}
+			c.Probe = probe
+		}
 		fut, fresh := sched.Submit(c)
 		if fresh {
 			if r.Progress != nil {
@@ -232,7 +362,7 @@ func (r *Runner) Run() (Summary, error) {
 		if r.MaxFresh > 0 {
 			freshBudget--
 		}
-		inflight = append(inflight, pending{fut: fut, cell: c, start: time.Now()})
+		inflight = append(inflight, pending{fut: fut, cell: c, probe: probe, start: time.Now()})
 		if len(inflight) >= window {
 			if err := finish(inflight[0]); err != nil {
 				return err
@@ -253,7 +383,12 @@ func (r *Runner) Run() (Summary, error) {
 		return sum, ErrIncomplete
 	}
 	sum.Done = true
-	if err := r.emitShardOutputs(); err != nil {
+	if sum.Poisoned > 0 {
+		// Every owned cell has a STATE record, but quarantined cells
+		// have no results: the shard cannot emit outputs yet.
+		return sum, ErrPoisoned
+	}
+	if err := r.emitShardOutputs(fsys, retry); err != nil {
 		return sum, err
 	}
 	return sum, nil
@@ -261,13 +396,15 @@ func (r *Runner) Run() (Summary, error) {
 
 // emitShardOutputs streams the shard's cells back out of the cache into
 // the shard NDJSON (ascending grid index) and the shard manifest
-// (merged metrics, digest over the NDJSON bytes).
-func (r *Runner) emitShardOutputs() error {
-	f, err := os.Create(r.ndjsonPath())
+// (merged metrics, digest over the NDJSON bytes). Writes ride the
+// retry budget beneath the digest, so a retried short write cannot
+// corrupt the digest over the file's actual bytes.
+func (r *Runner) emitShardOutputs(fsys guard.FS, retry *guard.Retrier) error {
+	f, err := fsys.Create(r.ndjsonPath())
 	if err != nil {
 		return err
 	}
-	dw := obs.NewDigestWriter(f)
+	dw := obs.NewDigestWriter(&guard.RetryWriter{W: f, R: retry})
 	enc := json.NewEncoder(dw)
 	var merged obs.Snapshot
 	cells := 0
@@ -333,11 +470,20 @@ func sweepManifest(spec *Spec, shard string, cells int, merged obs.Snapshot, dig
 // The summary table (per-application cell counts and execution-time
 // rollups) is written to out.
 func Merge(spec *Spec, dir string, shards int, out io.Writer) (int, error) {
+	return MergeOn(nil, nil, spec, dir, shards, out)
+}
+
+// MergeOn is Merge through an explicit filesystem and retry budget:
+// shard reads and merged writes go through fsys (nil: the real OS)
+// with transient faults retried under retry (nil: one attempt), so an
+// EINTR blip mid-merge degrades instead of failing the whole merge.
+func MergeOn(fsys guard.FS, retry *guard.Retrier, spec *Spec, dir string, shards int, out io.Writer) (int, error) {
+	fsys = guard.Or(fsys)
 	if shards < 1 {
 		shards = 1
 	}
 	type shardIn struct {
-		f   *os.File
+		f   guard.File
 		dec *json.Decoder
 	}
 	ins := make([]*shardIn, shards)
@@ -351,16 +497,16 @@ func Merge(spec *Spec, dir string, shards int, out io.Writer) (int, error) {
 	var mergedSnap obs.Snapshot
 	for i := 0; i < shards; i++ {
 		base := filepath.Join(dir, fmt.Sprintf("shard-%dof%d", i, shards))
-		f, err := os.Open(base + ".ndjson")
+		f, err := fsys.Open(base + ".ndjson")
 		if err != nil {
 			return 0, fmt.Errorf("sweep: shard %d output missing (run the shard to completion first): %w", i, err)
 		}
-		ins[i] = &shardIn{f: f, dec: json.NewDecoder(f)}
-		mf, err := os.Open(base + ".manifest.json")
+		ins[i] = &shardIn{f: f, dec: json.NewDecoder(&guard.RetryReader{Rd: f, R: retry})}
+		mf, err := fsys.Open(base + ".manifest.json")
 		if err != nil {
 			return 0, err
 		}
-		man, err := obs.ReadManifest(mf)
+		man, err := obs.ReadManifest(&guard.RetryReader{Rd: mf, R: retry})
 		mf.Close()
 		if err != nil {
 			return 0, err
@@ -372,11 +518,11 @@ func Merge(spec *Spec, dir string, shards int, out io.Writer) (int, error) {
 	}
 
 	ndjsonPath, manifestPath, seriesPath := MergedPaths(dir)
-	f, err := os.Create(ndjsonPath)
+	f, err := fsys.Create(ndjsonPath)
 	if err != nil {
 		return 0, err
 	}
-	dw := obs.NewDigestWriter(f)
+	dw := obs.NewDigestWriter(&guard.RetryWriter{W: f, R: retry})
 	enc := json.NewEncoder(dw)
 	agg := make(map[string]*AppAggregate)
 	seriesByName := make(map[string]obs.SeriesData)
@@ -442,11 +588,11 @@ func Merge(spec *Spec, dir string, shards int, out io.Writer) (int, error) {
 		for _, name := range names {
 			series = append(series, seriesByName[name])
 		}
-		sf, err := os.Create(seriesPath)
+		sf, err := fsys.Create(seriesPath)
 		if err != nil {
 			return cells, err
 		}
-		err = obs.WriteSeriesNDJSON(sf, series)
+		err = obs.WriteSeriesNDJSON(&guard.RetryWriter{W: sf, R: retry}, series)
 		if cerr := sf.Close(); err == nil {
 			err = cerr
 		}

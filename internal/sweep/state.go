@@ -5,16 +5,19 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"nwcache/internal/guard"
 )
 
 // The STATE file is the sweep's checkpoint: a line-based, append-only
 // progress log (the pattern of disko-san's progress file — every write
 // is synced and read back before it counts). One header line pins the
 // grid and shard the file belongs to; every subsequent line records one
-// completed cell:
+// completed or quarantined cell:
 //
 //	nwsweep-state v1 spec=<hex> shard=<i>/<n>
 //	<cell-key> ok <result-digest> <duration_ns>
+//	<cell-key> poison <reason-token> <duration_ns>
 //
 // Resume replays the file and skips recorded cells. The format is
 // deliberately tolerant of exactly the failures an interrupted sweep
@@ -36,10 +39,22 @@ import (
 // stateMagic is the header prefix of a v1 STATE file.
 const stateMagic = "nwsweep-state v1"
 
+// Record statuses. A poison record quarantines a cell that panicked or
+// blew its supervision budget: resume skips it (and the shard reports
+// ErrPoisoned) unless the runner is told to retry, in which case a
+// later "ok" record for the same key supersedes it — last record wins,
+// same as every other duplicate.
+const (
+	StatusOK     = "ok"
+	StatusPoison = "poison"
+)
+
 // StateRec is one replayed STATE line.
 type StateRec struct {
 	Key        string
-	Digest     string
+	Status     string // StatusOK or StatusPoison
+	Digest     string // ok records: the verified result digest
+	Reason     string // poison records: the quarantine reason token
 	DurationNS int64
 }
 
@@ -49,16 +64,35 @@ type StateRec struct {
 // Append accepted survives the process dying on the very next
 // instruction.
 type StateFile struct {
-	f   *os.File
-	off int64 // verified file size
+	f     guard.File
+	retry *guard.Retrier
+	off   int64 // verified file size
 }
 
 // OpenState opens (or creates) the STATE file at path for the given
 // spec digest and shard layout, replays any existing records, and
 // positions for appending. truncated counts dropped partial lines.
 func OpenState(path, specDigest string, shard, shards int) (sf *StateFile, done map[string]StateRec, truncated int, err error) {
-	blob, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	return OpenStateOn(nil, nil, path, specDigest, shard, shards)
+}
+
+// OpenStateOn is OpenState through an explicit filesystem and retry
+// budget: fsys is the host seam (nil: the real OS; chaos tests inject
+// faults here) and retry bounds transient-I/O retries on the replay
+// read and every append (nil: one attempt, no retries).
+func OpenStateOn(fsys guard.FS, retry *guard.Retrier, path, specDigest string, shard, shards int) (sf *StateFile, done map[string]StateRec, truncated int, err error) {
+	fsys = guard.Or(fsys)
+	var blob []byte
+	err = retry.Do(func() error {
+		var rerr error
+		blob, rerr = fsys.ReadFile(path)
+		if os.IsNotExist(rerr) {
+			blob = nil
+			return nil
+		}
+		return rerr
+	})
+	if err != nil {
 		return nil, nil, 0, err
 	}
 	header := fmt.Sprintf("%s spec=%s shard=%d/%d", stateMagic, specDigest, shard, shards)
@@ -70,7 +104,7 @@ func OpenState(path, specDigest string, shard, shards int) (sf *StateFile, done 
 			return nil, nil, 0, fmt.Errorf("sweep: %s: %w", path, err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -80,7 +114,7 @@ func OpenState(path, specDigest string, shard, shards int) (sf *StateFile, done 
 		f.Close()
 		return nil, nil, 0, err
 	}
-	sf = &StateFile{f: f, off: int64(verified)}
+	sf = &StateFile{f: f, retry: retry, off: int64(verified)}
 	if verified == 0 {
 		if err := sf.appendLine(header); err != nil {
 			f.Close()
@@ -131,23 +165,30 @@ func replayState(blob []byte, wantHeader string) (done map[string]StateRec, veri
 	return done, verified, truncated, nil
 }
 
-// parseStateLine decodes "<key> ok <digest> <duration_ns>".
+// parseStateLine decodes "<key> ok <digest> <duration_ns>" or
+// "<key> poison <reason-token> <duration_ns>".
 func parseStateLine(line string) (StateRec, bool) {
 	fields := strings.Fields(line)
-	if len(fields) != 4 || fields[1] != "ok" {
+	if len(fields) != 4 {
 		return StateRec{}, false
 	}
 	if len(fields[0]) != 64 || !isHex(fields[0]) {
-		return StateRec{}, false
-	}
-	if !strings.HasPrefix(fields[2], "sha256:") {
 		return StateRec{}, false
 	}
 	dur, err := strconv.ParseInt(fields[3], 10, 64)
 	if err != nil || dur < 0 {
 		return StateRec{}, false
 	}
-	return StateRec{Key: fields[0], Digest: fields[2], DurationNS: dur}, true
+	switch fields[1] {
+	case StatusOK:
+		if !strings.HasPrefix(fields[2], "sha256:") {
+			return StateRec{}, false
+		}
+		return StateRec{Key: fields[0], Status: StatusOK, Digest: fields[2], DurationNS: dur}, true
+	case StatusPoison:
+		return StateRec{Key: fields[0], Status: StatusPoison, Reason: fields[2], DurationNS: dur}, true
+	}
+	return StateRec{}, false
 }
 
 func isHex(s string) bool {
@@ -166,22 +207,46 @@ func (sf *StateFile) Append(rec StateRec) error {
 	return sf.appendLine(fmt.Sprintf("%s ok %s %d", rec.Key, rec.Digest, rec.DurationNS))
 }
 
+// AppendPoison quarantines a cell: it panicked or blew its supervision
+// budget, and a resume must skip it instead of re-crashing. The reason
+// is flattened to a single whitespace-free token so the record stays
+// line-parseable.
+func (sf *StateFile) AppendPoison(key, reason string, durationNS int64) error {
+	reason = strings.Join(strings.Fields(reason), "-")
+	if reason == "" {
+		reason = "unknown"
+	}
+	return sf.appendLine(fmt.Sprintf("%s poison %s %d", key, reason, durationNS))
+}
+
 // appendLine writes line+"\n" at the verified offset, syncs, and
-// verifies the bytes landed.
+// verifies the bytes landed. The whole sequence is retried under the
+// StateFile's retry budget: because the write targets a fixed verified
+// offset, a torn or short first attempt is simply overwritten by the
+// next one, and the verified offset only advances after a clean
+// read-back.
 func (sf *StateFile) appendLine(line string) error {
 	payload := []byte(line + "\n")
-	if _, err := sf.f.WriteAt(payload, sf.off); err != nil {
-		return fmt.Errorf("sweep: STATE append: %w", err)
-	}
-	if err := sf.f.Sync(); err != nil {
-		return fmt.Errorf("sweep: STATE sync: %w", err)
-	}
-	back := make([]byte, len(payload))
-	if _, err := sf.f.ReadAt(back, sf.off); err != nil {
-		return fmt.Errorf("sweep: STATE verify read: %w", err)
-	}
-	if string(back) != string(payload) {
-		return fmt.Errorf("sweep: STATE verify mismatch: wrote %q, read %q", payload, back)
+	err := sf.retry.Do(func() error {
+		if _, err := sf.f.WriteAt(payload, sf.off); err != nil {
+			return fmt.Errorf("sweep: STATE append: %w", err)
+		}
+		if err := sf.f.Sync(); err != nil {
+			return fmt.Errorf("sweep: STATE sync: %w", err)
+		}
+		back := make([]byte, len(payload))
+		if _, err := sf.f.ReadAt(back, sf.off); err != nil {
+			return fmt.Errorf("sweep: STATE verify read: %w", err)
+		}
+		if string(back) != string(payload) {
+			// A mismatch at a fixed offset is a torn write: rewriting the
+			// same bytes at the same offset repairs it, so retry.
+			return guard.MarkTransient(fmt.Errorf("sweep: STATE verify mismatch: wrote %q, read %q", payload, back))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sf.off += int64(len(payload))
 	return nil

@@ -15,7 +15,7 @@ func stateKey(i int) string {
 }
 
 func stateRec(i int) StateRec {
-	return StateRec{Key: stateKey(i), Digest: fmt.Sprintf("sha256:%064x", 1000+i), DurationNS: int64(i) * 7}
+	return StateRec{Key: stateKey(i), Status: StatusOK, Digest: fmt.Sprintf("sha256:%064x", 1000+i), DurationNS: int64(i) * 7}
 }
 
 func TestStateAppendReplay(t *testing.T) {
@@ -116,7 +116,7 @@ func TestStateDuplicateLinesLastWins(t *testing.T) {
 	sf.Append(stateRec(0))
 	sf.Append(stateRec(1))
 	// Resume-of-resume: the same cell recorded again with a new digest.
-	dup := StateRec{Key: stateKey(0), Digest: fmt.Sprintf("sha256:%064x", 4242), DurationNS: 1}
+	dup := StateRec{Key: stateKey(0), Status: StatusOK, Digest: fmt.Sprintf("sha256:%064x", 4242), DurationNS: 1}
 	sf.Append(dup)
 	sf.Close()
 	_, done, truncated, err := OpenState(path, testDigestHex, 0, 1)

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadJSON pins the NDJSON trace reader: arbitrary bytes never
+// panic (parse or error), and any accepted stream survives a
+// write→read round trip with the exact same events. nwtrace pipelines
+// re-encode traces between tools, so a lossy round trip would corrupt
+// analyses downstream of the first hop.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"t":10,"kind":"swap-out","node":1,"page":42,"arg":7}` + "\n"))
+	f.Add([]byte(`{"t":0,"kind":"fault","node":0,"page":1}` + "\n" +
+		`{"t":5,"kind":"fault","node":3,"page":2,"arg":-1}` + "\n"))
+	f.Add([]byte("\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, events); err != nil {
+			t.Fatalf("WriteJSON of accepted events: %v", err)
+		}
+		again, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of canonical encoding: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("round trip changed events:\nfirst:  %+v\nsecond: %+v", events, again)
+		}
+	})
+}

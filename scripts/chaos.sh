@@ -1,0 +1,146 @@
+#!/bin/sh
+# Chaos gate (CI job: chaos).
+#
+# Proves the host-fault supervision layer (internal/guard) end to end,
+# with real process exits and a race-enabled build:
+#
+#  1. Fault-plan survival: a sharded sweep run under a seeded chaos
+#     filesystem (failed fsyncs, torn writes, an ENOSPC window, EINTR
+#     reads, failed renames) — including a mid-run SIGTERM drain and
+#     resume — produces byte-identical merged NDJSON and manifest to a
+#     clean run of the same grid.
+#
+#  2. Panic quarantine: a deliberately panicking cell (-chaos-panic)
+#     is poisoned instead of crashing the shard (exit 4), the
+#     quarantine holds across plain re-runs, -retry-poison heals it,
+#     and the healed sweep merges byte-identical to the clean run.
+#
+# Set CHAOS_DIR to persist the working tree (STATE files, poison
+# records, logs) — CI uploads it as a debugging artifact.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ -n "${CHAOS_DIR:-}" ]; then
+  tmp="$CHAOS_DIR"
+  mkdir -p "$tmp"
+else
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+fi
+
+go build -race -o "$tmp/nwsweep" ./cmd/nwsweep
+
+spec="$tmp/grid.txt"
+cat > "$spec" <<'EOF'
+name chaos-gate
+apps em3d,gauss
+kinds standard,nwcache
+modes naive
+seeds 1..2
+scale 0.05
+EOF
+# 2 apps x 2 kinds x 1 mode x 2 seeds = 8 cells, 4 per shard.
+
+plan="$tmp/chaos.txt"
+cat > "$plan" <<'EOF'
+sync fail nth=3
+write short rate=0.15
+write enospc from=6 until=9
+read eintr rate=0.05
+rename fail nth=2
+EOF
+
+# Reference: one clean two-shard sweep, no chaos.
+ref="$tmp/ref"
+"$tmp/nwsweep" -grid "$spec" -dir "$ref" -shard 0/2 -q
+"$tmp/nwsweep" -grid "$spec" -dir "$ref" -shard 1/2 -q
+"$tmp/nwsweep" -grid "$spec" -dir "$ref" -merge -shards 2 > "$tmp/ref-merge.txt"
+
+# resume_until_done DIR SHARD EXTRA_ARGS... — re-invoke until exit 0,
+# tolerating exit 3 (resumable) between attempts.
+resume_until_done() {
+  rdir="$1"; rshard="$2"; shift 2
+  tries=0
+  while :; do
+    rc=0
+    "$tmp/nwsweep" -grid "$spec" -dir "$rdir" -shard "$rshard" -q "$@" \
+      2> "$tmp/last.log" || rc=$?
+    cat "$tmp/last.log" >&2
+    [ "$rc" -eq 0 ] && return 0
+    if [ "$rc" -ne 3 ]; then
+      echo "chaos: resume of shard $rshard failed with $rc" >&2
+      exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -ge 32 ]; then
+      echo "chaos: shard $rshard never completed (no resume progress?)" >&2
+      exit 1
+    fi
+  done
+}
+
+# Leg 1: run both shards under the seeded chaos filesystem. Shard 0
+# additionally takes a SIGTERM mid-run: the first signal drains (stop
+# admitting cells, checkpoint what is in flight, exit 3), and the
+# resume carries on from the STATE file. -io-retries widens the
+# transient retry budget: the plan's 3-op ENOSPC window deterministically
+# burns 3 attempts of any write retried across it.
+chaos="$tmp/chaos-run"
+"$tmp/nwsweep" -grid "$spec" -dir "$chaos" -shard 0/2 -q -io-retries 10 \
+  -chaos-fs "$plan" -chaos-seed 7 2> "$tmp/sig.log" &
+pid=$!
+sleep 0.3
+kill -TERM "$pid" 2>/dev/null || true
+rc=0
+wait "$pid" || rc=$?
+cat "$tmp/sig.log" >&2
+# rc 0: the shard finished before (or while draining after) the signal;
+# rc 3: the drain left it resumable. Anything else is a hard failure.
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+  echo "chaos: SIGTERM drain exited $rc, want 0 or 3" >&2
+  exit 1
+fi
+resume_until_done "$chaos" 0/2 -io-retries 10 -chaos-fs "$plan" -chaos-seed 7
+resume_until_done "$chaos" 1/2 -io-retries 10 -chaos-fs "$plan" -chaos-seed 11
+
+"$tmp/nwsweep" -grid "$spec" -dir "$chaos" -merge -shards 2 > "$tmp/chaos-merge.txt"
+
+echo "chaos: comparing chaos-run artifacts against the clean run" >&2
+cmp "$ref/merged.ndjson" "$chaos/merged.ndjson"
+cmp "$ref/merged.manifest.json" "$chaos/merged.manifest.json"
+cmp "$tmp/ref-merge.txt" "$tmp/chaos-merge.txt"
+
+# Leg 2: panic quarantine. Sabotage every em3d cell (both shards hold
+# some); each shard must finish its healthy cells, quarantine the
+# saboteurs, and exit 4.
+pq="$tmp/poison-run"
+for shard in 0/2 1/2; do
+  rc=0
+  "$tmp/nwsweep" -grid "$spec" -dir "$pq" -shard "$shard" -q \
+    -chaos-panic "em3d" 2> "$tmp/pq.log" || rc=$?
+  cat "$tmp/pq.log" >&2
+  if [ "$rc" -ne 4 ]; then
+    echo "chaos: sabotaged shard $shard exited $rc, want 4" >&2
+    exit 1
+  fi
+  grep -q "poisoned" "$tmp/pq.log" || {
+    echo "chaos: shard $shard printed no poison diagnostic" >&2
+    exit 1
+  }
+  # The quarantine holds on a plain re-run...
+  rc=0
+  "$tmp/nwsweep" -grid "$spec" -dir "$pq" -shard "$shard" -q 2>/dev/null || rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "chaos: quarantined shard $shard exited $rc on re-run, want 4" >&2
+    exit 1
+  fi
+  # ...and -retry-poison (without the sabotage hook) heals it.
+  "$tmp/nwsweep" -grid "$spec" -dir "$pq" -shard "$shard" -q -retry-poison
+done
+
+"$tmp/nwsweep" -grid "$spec" -dir "$pq" -merge -shards 2 > "$tmp/pq-merge.txt"
+cmp "$ref/merged.ndjson" "$pq/merged.ndjson"
+cmp "$ref/merged.manifest.json" "$pq/merged.manifest.json"
+cmp "$tmp/ref-merge.txt" "$tmp/pq-merge.txt"
+
+echo "chaos: OK (fault plan + SIGTERM survived byte-identically; panics quarantined, retried, healed)" >&2

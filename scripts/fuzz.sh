@@ -1,0 +1,19 @@
+#!/bin/sh
+# Fuzz smoke (CI job: fuzz-smoke).
+#
+# Runs each native fuzz target for a short budget — enough to shake out
+# parser regressions on every push without burning CI minutes. The
+# targets pin two properties per parser: arbitrary input never panics,
+# and accepted input reaches a canonical fixpoint (grid specs via
+# Canon, fault plans via String, NDJSON traces via a write/read round
+# trip). Override FUZZTIME for longer local campaigns:
+#
+#	FUZZTIME=10m scripts/fuzz.sh
+set -eux
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-20s}"
+
+go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime "$FUZZTIME" ./internal/sweep/
+go test -run '^$' -fuzz '^FuzzParsePlan$' -fuzztime "$FUZZTIME" ./internal/fault/
+go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime "$FUZZTIME" ./internal/trace/
