@@ -67,6 +67,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -81,6 +83,7 @@ import (
 	"nwcache/internal/core"
 	"nwcache/internal/exp/pool"
 	"nwcache/internal/guard"
+	"nwcache/internal/obs"
 	"nwcache/internal/stats"
 	"nwcache/internal/sweep"
 )
@@ -112,6 +115,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "total shard count for -merge")
 		par      = flag.Bool("par", false, "pipelined op-stream generation for fresh cells (grid mode)")
 		pdes     = flag.Int("pdes", 0, "windowed PDES shard-group width for fresh cells (grid mode)")
+		events   = flag.String("events-out", "", "write the shard's lifecycle event stream to this NDJSON file (grid mode)")
 
 		cellBudget  = flag.Duration("cell-budget", 0, "wall-clock budget per cell; over-budget cells are aborted and quarantined (grid mode; 0 = unlimited)")
 		cellStall   = flag.Duration("cell-stall", 0, "abort a cell whose simulated clock stops advancing for this long (grid mode; 0 = never)")
@@ -127,7 +131,7 @@ func main() {
 		os.Exit(runGrid(gridOpts{
 			specPath: *gridSpec, dir: *dir, shardSpec: *shard, cacheDir: *cacheDir,
 			jobs: *jobs, maxCells: *maxCells, shards: *shards,
-			doMerge: *merge, par: *par, pdes: *pdes, quiet: *quiet,
+			doMerge: *merge, par: *par, pdes: *pdes, quiet: *quiet, eventsOut: *events,
 			cellBudget: *cellBudget, cellStall: *cellStall, retryPoison: *retryPoison,
 			ioRetries: *ioRetries,
 			chaosFS:   *chaosFS, chaosSeed: *chaosSeed, chaosPanic: *chaosPanic,
@@ -464,6 +468,7 @@ type gridOpts struct {
 	doMerge, par                       bool
 	pdes                               int
 	quiet                              bool
+	eventsOut                          string
 
 	cellBudget, cellStall time.Duration
 	retryPoison           bool
@@ -559,6 +564,34 @@ func runGrid(o gridOpts) int {
 		OnPoison: func(c core.Cell, reason string) {
 			fmt.Fprintf(os.Stderr, "nwsweep: poisoned %s: %s\n", c.Label(), reason)
 		},
+	}
+	if o.eventsOut != "" {
+		// The same NDJSON event stream the service's /jobs/{id}/events
+		// endpoint serves, written as a file: seqs are stamped here since
+		// there is no event log in between.
+		ef, err := os.Create(o.eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(ef)
+		enc := json.NewEncoder(bw)
+		var seq int64
+		r.OnEvent = func(ev obs.Event) {
+			seq++
+			ev.Seq = seq
+			enc.Encode(ev) //nolint:errcheck // flush error is checked below
+		}
+		defer func() {
+			if err := bw.Flush(); err == nil {
+				err = ef.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nwsweep: writing %s: %v\n", o.eventsOut, err)
+				}
+			} else {
+				ef.Close()
+				fmt.Fprintf(os.Stderr, "nwsweep: writing %s: %v\n", o.eventsOut, err)
+			}
+		}()
 	}
 	if o.ioRetries > 0 {
 		// A wider budget than the guard default: chaos plans (and

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Host-resource probes: process-level heap, GC, and goroutine readings
+// exposed through the same pull-probe machinery as simulation metrics,
+// so a service job's live series carries the host's health next to the
+// simulated clocks. These are wall-clock quantities — they belong in
+// live views and service registries only, never in the per-cell record
+// registry (which must stay deterministic).
+
+// memStatsCache coalesces runtime.ReadMemStats calls: one probe
+// evaluation pass (a Snapshot or a Sampler tick) reads several fields,
+// and ReadMemStats stops the world, so readings within memStatsRefresh
+// of each other share one read.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	some bool
+}
+
+const memStatsRefresh = 50 * time.Millisecond
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.some || time.Since(c.at) > memStatsRefresh {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+		c.some = true
+	}
+	return &c.ms
+}
+
+// RegisterHostProbes registers the process's host-resource readings as
+// probes under sc (typically a "host" scope of a service registry):
+//
+//	heap_alloc_bytes   live heap (gauge)
+//	heap_objects       live object count (gauge)
+//	goroutines         runtime.NumGoroutine (gauge)
+//	gc_cycles          completed GC cycles (counter)
+//	gc_pause_total_ns  cumulative stop-the-world pause (counter)
+//
+// Registering the same scope twice panics (the probe-duplicate rule);
+// register once per registry. Nil-safe on a nil scope.
+func RegisterHostProbes(sc *Scope) {
+	if sc == nil {
+		return
+	}
+	cache := &memStatsCache{}
+	sc.ProbeGauge("heap_alloc_bytes", func() int64 { return int64(cache.get().HeapAlloc) })
+	sc.ProbeGauge("heap_objects", func() int64 { return int64(cache.get().HeapObjects) })
+	sc.ProbeGauge("goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	sc.ProbeCounter("gc_cycles", func() int64 { return int64(cache.get().NumGC) })
+	sc.ProbeCounter("gc_pause_total_ns", func() int64 { return int64(cache.get().PauseTotalNs) })
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -195,16 +196,17 @@ func promName(name string) string {
 	return sb.String()
 }
 
-func (s *LiveServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+// WriteMetricsText writes frames in Prometheus text exposition format:
+// one sample per metric per frame, with # TYPE headers emitted once per
+// metric name across all frames. label returns the label set (including
+// braces, e.g. `{job="j1",cell="gauss"}`, or "") for frame i — the
+// seam that lets the service layer attach job/cell labels while the
+// single-run live server keeps its run label.
+func WriteMetricsText(w io.Writer, frames []*LiveSample, label func(i int, f *LiveSample) string) error {
 	bw := bufio.NewWriter(w)
-	defer bw.Flush()
 	typed := map[string]bool{}
-	for _, f := range s.set.Frames() {
-		label := ""
-		if f.Run != "" {
-			label = fmt.Sprintf("{run=%q}", f.Run)
-		}
+	for fi, f := range frames {
+		l := label(fi, f)
 		for i, name := range f.Names {
 			pn := promName(name)
 			if !typed[pn] {
@@ -215,10 +217,21 @@ func (s *LiveServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 				}
 				fmt.Fprintf(bw, "# TYPE %s %s\n", pn, kind)
 			}
-			fmt.Fprintf(bw, "%s%s %g\n", pn, label, f.Values[i])
+			fmt.Fprintf(bw, "%s%s %g\n", pn, l, f.Values[i])
 		}
-		fmt.Fprintf(bw, "%s%s %d\n", "nwcache_sim_now_published_pcycles", label, f.Now)
+		fmt.Fprintf(bw, "%s%s %d\n", "nwcache_sim_now_published_pcycles", l, f.Now)
 	}
+	return bw.Flush()
+}
+
+func (s *LiveServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetricsText(w, s.set.Frames(), func(_ int, f *LiveSample) string {
+		if f.Run == "" {
+			return ""
+		}
+		return fmt.Sprintf("{run=%q}", f.Run)
+	})
 }
 
 // seriesFrame is one NDJSON line of the /series stream.
@@ -230,14 +243,24 @@ type seriesFrame struct {
 }
 
 func (s *LiveServer) handleSeries(w http.ResponseWriter, r *http.Request) {
+	ServeSeries(w, r, s.set, nil)
+}
+
+// ServeSeries streams set's newly published frames as NDJSON (one
+// seriesFrame per line, deduplicated per run by Seq) until the client
+// disconnects or done closes — done is the hook a finite job hands in
+// so the stream terminates with the job (nil: stream forever). After
+// done closes one final sweep drains any frames published in between.
+func ServeSeries(w http.ResponseWriter, r *http.Request, set *LiveSet, done <-chan struct{}) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	last := map[string]int64{} // run -> last streamed Seq
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	closing := false
 	for {
-		for _, f := range s.set.Frames() {
+		for _, f := range set.Frames() {
 			if f.Seq <= last[f.Run] {
 				continue
 			}
@@ -253,9 +276,14 @@ func (s *LiveServer) handleSeries(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if closing {
+			return
+		}
 		select {
 		case <-r.Context().Done():
 			return
+		case <-done:
+			closing = true // one last drain, then out
 		case <-ticker.C:
 		}
 	}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"nwcache/internal/obs"
+)
+
+func TestHeaderFooterWellFormed(t *testing.T) {
+	var b bytes.Buffer
+	Header(&b, "t&t")
+	ManifestTable(&b, []*obs.Manifest{{Tool: "nwsim", App: "gauss", Digest: strings.Repeat("ab", 32)}}, []string{"m.json"})
+	SeriesSection(&b, []obs.SeriesData{{Name: "a.events", Kind: "counter",
+		Points: [][2]float64{{0, 0}, {10, 5}, {20, 9}}}})
+	Footer(&b)
+	out := b.String()
+	for _, want := range []string{
+		"<title>t&amp;t</title>", "<h1>t&amp;t</h1>", // titles escaped
+		"<h2>Runs</h2>", "gauss", "…", // digest truncated with ellipsis
+		"<h2>Time series</h2>", "a.events", "<svg class=spark",
+		"</body></html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<table>"); n != strings.Count(out, "</table>") {
+		t.Errorf("unbalanced <table> tags: %d open", n)
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	for v, want := range map[float64]string{42: "42", 0.5: "0.5", -3: "-3"} {
+		if got := FmtNum(v); got != want {
+			t.Errorf("FmtNum(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSVGSpark(t *testing.T) {
+	if got := SVGSpark(nil); !strings.Contains(got, "empty") {
+		t.Errorf("empty spark = %q", got)
+	}
+	if got := SVGSpark([][2]float64{{0, 1}, {1, 2}}); !strings.HasPrefix(got, "<svg") || !strings.HasSuffix(got, "</svg>") {
+		t.Errorf("spark not a closed svg: %q", got)
+	}
+}
+
+func TestErrWriterLatchesFirstError(t *testing.T) {
+	ew := &ErrWriter{W: &failAfter{n: 1}}
+	ew.Write([]byte("ok"))
+	ew.Write([]byte("boom"))
+	if ew.Err == nil {
+		t.Fatal("error not latched")
+	}
+	first := ew.Err
+	ew.Write([]byte("more"))
+	if !errors.Is(ew.Err, first) {
+		t.Fatal("latched error overwritten")
+	}
+}
+
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n > 0 {
+		f.n--
+		return len(p), nil
+	}
+	return 0, errors.New("disk on fire")
+}

@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nwcache/internal/obs"
+	"nwcache/internal/sweep"
+)
+
+const testGrid = `name serve-test
+apps em3d
+kinds nwcache
+modes naive
+seeds 1..2
+scale 0.05
+series 200000
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs.URL
+}
+
+func postJob(t *testing.T, base string, req JobRequest) JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /jobs = %d: %v", resp.StatusCode, e)
+	}
+	var js JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+func getStatus(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+func waitTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		js := getStatus(t, base, id)
+		switch js.State {
+		case StateDone, StatePoisoned, StateFailed, StateCancelled:
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s, %d/%d)", id, js.State, js.Done, js.Total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Bytes()
+}
+
+// TestJobOverHTTPByteIdenticalToOffline is the service's headline
+// criterion: a grid submitted over HTTP — with telemetry readers
+// hammering /metrics and /series while it runs — produces merged
+// artifacts byte-identical to the same spec run offline through the
+// sweep runner.
+func TestJobOverHTTPByteIdenticalToOffline(t *testing.T) {
+	spec, err := sweep.ParseSpec(testGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := t.TempDir()
+	r := &sweep.Runner{Spec: spec, Shard: 0, Shards: 1, Dir: offline}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.Merge(spec, offline, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, base := newTestServer(t, Config{HostSample: 20 * time.Millisecond})
+	defer srv.Drain()
+	js := postJob(t, base, JobRequest{Grid: testGrid})
+	if js.State != StateQueued && js.State != StateRunning {
+		t.Fatalf("submitted job state = %s", js.State)
+	}
+	if js.Total != 2 && js.Cells != 2 {
+		t.Fatalf("job cells = %d/%d, want 2", js.Total, js.Cells)
+	}
+
+	// Concurrent telemetry readers during the run (digest-neutral).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := getBody(t, base+"/metrics")
+				if !bytes.Contains(body, []byte("nwcache_serve_jobs")) {
+					t.Error("/metrics missing scheduler gauges")
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	final := waitTerminal(t, base, js.ID)
+	close(stop)
+	wg.Wait()
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", final.State, final.Error)
+	}
+	if final.Done != 2 || final.Total != 2 {
+		t.Fatalf("job progress = %d/%d, want 2/2", final.Done, final.Total)
+	}
+
+	offND, offMan, offSer := sweep.MergedPaths(offline)
+	for _, tc := range []struct {
+		artifact string
+		offline  string
+	}{
+		{"merged.ndjson", offND},
+		{"merged.manifest.json", offMan},
+		{"merged.series.ndjson", offSer},
+	} {
+		want, err := os.ReadFile(tc.offline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := getBody(t, base+"/jobs/"+js.ID+"/artifacts/"+tc.artifact)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s served over HTTP differs from the offline run", tc.artifact)
+		}
+	}
+
+	// The artifact index lists the merged outputs and the HTML report.
+	var names []string
+	if err := json.Unmarshal(getBody(t, base+"/jobs/"+js.ID+"/artifacts"), &names); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"index.html", "merged.ndjson", "merged.manifest.json", "events.ndjson", "spec.txt", "merge.txt"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("artifact listing %v missing %s", names, want)
+		}
+	}
+	if html := getBody(t, base+"/jobs/"+js.ID+"/artifacts/index.html"); !bytes.Contains(html, []byte("nwcache job "+js.ID)) {
+		t.Error("index.html missing job title")
+	}
+
+	// The event replay carries the full lifecycle with monotonic seqs.
+	evs, err := obs.ReadEventsNDJSON(bytes.NewReader(getBody(t, base+"/jobs/"+js.ID+"/events?follow=0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	lastSeq := int64(0)
+	for _, ev := range evs {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Job != js.ID {
+			t.Fatalf("event %+v not stamped with job ID", ev)
+		}
+		seen[ev.Type]++
+	}
+	for _, typ := range []string{obs.EventJobQueued, obs.EventJobStart, obs.EventShardStart,
+		obs.EventCellStart, obs.EventCellDone, obs.EventShardDone, obs.EventJobDone} {
+		if seen[typ] == 0 {
+			t.Errorf("event replay missing %s (have %v)", typ, seen)
+		}
+	}
+}
+
+// TestDuplicateJobAdoptsCache resubmits an identical grid: every cell
+// must come out of the shared result cache, no fresh simulation.
+func TestDuplicateJobAdoptsCache(t *testing.T) {
+	srv, base := newTestServer(t, Config{HostSample: -1})
+	defer srv.Drain()
+	first := postJob(t, base, JobRequest{Grid: testGrid})
+	if s := waitTerminal(t, base, first.ID); s.State != StateDone {
+		t.Fatalf("first job %s: %s", s.State, s.Error)
+	}
+	second := postJob(t, base, JobRequest{Grid: testGrid})
+	if s := waitTerminal(t, base, second.ID); s.State != StateDone {
+		t.Fatalf("second job %s: %s", s.State, s.Error)
+	}
+	evs, err := obs.ReadEventsNDJSON(bytes.NewReader(getBody(t, base+"/jobs/"+second.ID+"/events?follow=0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.Type == obs.EventCellStart {
+			t.Fatalf("duplicate job simulated cell %s fresh instead of adopting the cache", ev.Cell)
+		}
+	}
+	// Both jobs' merged artifacts agree byte for byte.
+	a := getBody(t, base+"/jobs/"+first.ID+"/artifacts/merged.ndjson")
+	b := getBody(t, base+"/jobs/"+second.ID+"/artifacts/merged.ndjson")
+	if !bytes.Equal(a, b) {
+		t.Fatal("duplicate job produced different merged NDJSON")
+	}
+}
+
+// TestSingleCellRequest exercises the cell shorthand: it becomes a
+// one-cell sweep with the same artifact layout.
+func TestSingleCellRequest(t *testing.T) {
+	srv, base := newTestServer(t, Config{HostSample: -1})
+	defer srv.Drain()
+	js := postJob(t, base, JobRequest{Name: "one-cell",
+		Cell: &CellRequest{App: "gauss", Kind: "nwcache", Mode: "optimal", Scale: 0.05}})
+	if js.Cells != 1 {
+		t.Fatalf("cell request enumerated %d cells, want 1", js.Cells)
+	}
+	if s := waitTerminal(t, base, js.ID); s.State != StateDone {
+		t.Fatalf("cell job %s: %s", s.State, s.Error)
+	}
+	var lines int
+	for _, b := range bytes.Split(getBody(t, base+"/jobs/"+js.ID+"/artifacts/merged.ndjson"), []byte("\n")) {
+		if len(bytes.TrimSpace(b)) > 0 {
+			lines++
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("merged NDJSON has %d cells, want 1", lines)
+	}
+}
+
+// TestQueuedJobCancel pins the cancel path for a job that never ran:
+// with one worker busy, the second job is deterministically queued.
+func TestQueuedJobCancel(t *testing.T) {
+	srv, base := newTestServer(t, Config{Jobs: 1, HostSample: -1})
+	defer srv.Drain()
+	blocker := postJob(t, base, JobRequest{Grid: testGrid})
+	queued := postJob(t, base, JobRequest{Cell: &CellRequest{App: "gauss", Scale: 0.05}})
+	resp, err := http.Post(base+"/jobs/"+queued.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s := waitTerminal(t, base, queued.ID); s.State != StateCancelled {
+		t.Fatalf("queued job state after cancel = %s, want cancelled", s.State)
+	}
+	evs, err := obs.ReadEventsNDJSON(bytes.NewReader(getBody(t, base+"/jobs/"+queued.ID+"/events?follow=0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := evs[len(evs)-1]; last.Type != obs.EventJobCancelled {
+		t.Fatalf("last event = %+v, want job.cancelled", last)
+	}
+	if s := waitTerminal(t, base, blocker.ID); s.State != StateDone {
+		t.Fatalf("blocker job %s: %s", s.State, s.Error)
+	}
+}
+
+// TestDrainCancelsQueueAndStopsIntake pins graceful shutdown: Drain
+// returns with every job terminal and later submissions are rejected.
+func TestDrainCancelsQueueAndStopsIntake(t *testing.T) {
+	srv, base := newTestServer(t, Config{Jobs: 1, HostSample: -1})
+	running := postJob(t, base, JobRequest{Grid: testGrid})
+	queued := postJob(t, base, JobRequest{Cell: &CellRequest{App: "gauss", Scale: 0.05}})
+	srv.Drain()
+	for _, id := range []string{running.ID, queued.ID} {
+		js := getStatus(t, base, id)
+		switch js.State {
+		case StateDone, StateCancelled: // drained mid-run or before running
+		default:
+			t.Fatalf("after Drain job %s is %s, want terminal", id, js.State)
+		}
+	}
+	if js := getStatus(t, base, queued.ID); js.State != StateCancelled {
+		t.Fatalf("queued job after Drain = %s, want cancelled", js.State)
+	}
+	body, _ := json.Marshal(JobRequest{Cell: &CellRequest{App: "gauss"}})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while drained = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, base := newTestServer(t, Config{HostSample: -1})
+	defer srv.Drain()
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"both grid and cell", `{"grid":"apps em3d\n","cell":{"app":"gauss"}}`, http.StatusBadRequest},
+		{"bad spec", `{"grid":"bogus directive\n"}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"cell without app", `{"cell":{}}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(base + "/jobs/j9999-deadbeef"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestArtifactNameValidation(t *testing.T) {
+	srv, base := newTestServer(t, Config{HostSample: -1})
+	defer srv.Drain()
+	js := postJob(t, base, JobRequest{Cell: &CellRequest{App: "gauss", Scale: 0.05}})
+	waitTerminal(t, base, js.ID)
+	// Plant a file outside the job dir; ".." must not reach it.
+	outside := filepath.Join(filepath.Dir(srv.jobs[js.ID].Dir), "secret.txt")
+	if err := os.WriteFile(outside, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/jobs/" + js.ID + "/artifacts/..%2Fsecret.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("path traversal served a file outside the job directory")
+	}
+}
+
+func TestCellSpecTextRoundTrips(t *testing.T) {
+	req := JobRequest{Name: "rt", Cell: &CellRequest{App: "em3d", Kind: "standard", Mode: "optimal",
+		Seed: 7, Scale: 0.5, Series: 1000, FaultPlan: "disk read-error rate=0.02", FaultSeed: 3, Recovery: "conservative"}}
+	text, err := req.specText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweep.ParseSpec(text)
+	if err != nil {
+		t.Fatalf("rendered spec does not parse: %v\n%s", err, text)
+	}
+	if spec.NumCells() != 1 {
+		t.Fatalf("cell spec enumerates %d cells, want 1", spec.NumCells())
+	}
+	if spec.Seeds[0] != 7 || spec.Scale != 0.5 || spec.SeriesInterval != 1000 {
+		t.Fatalf("spec lost fields: %+v", spec)
+	}
+	if len(spec.Faults) != 1 || spec.Faults[0].Recovery != "conservative" || spec.Faults[0].Seed != 3 {
+		t.Fatalf("spec lost fault variant: %+v", spec.Faults)
+	}
+	if spec.Faults[0].Plan != "disk read-error rate=0.02" {
+		t.Fatalf("spec lost fault plan: %q", spec.Faults[0].Plan)
+	}
+}

@@ -121,8 +121,29 @@ type Runner struct {
 	// panicking cell proves the quarantine path end to end.
 	Sabotage func(c core.Cell) bool
 
+	// OnEvent, if set, receives the shard's structured lifecycle events
+	// (obs.Event): shard start/done, one event per cell settling (STATE
+	// replay, cache adoption, fresh completion, poison), each carrying
+	// done/total progress and — once a fresh duration is known — an ETA
+	// projected from the mean fresh-cell wall time. Events are advisory
+	// telemetry and never touch the artifacts; unset costs nothing.
+	OnEvent func(ev obs.Event)
+	// Live, if set, receives a published live view per fresh cell (the
+	// service layer's /metrics and /series feed). When the spec samples
+	// series the record sampler is published as-is; otherwise a live-only
+	// sampler at LiveInterval is attached, which never reaches the cell's
+	// cache record — merged artifacts stay byte-identical either way.
+	Live *obs.LiveSet
+	// LiveInterval is the live-only sampling interval in pcycles
+	// (<= 0: DefaultLiveInterval). Ignored when the spec samples series.
+	LiveInterval int64
+
 	cache *Cache
 }
+
+// DefaultLiveInterval is the live-only sampler tick period (pcycles)
+// when a Live set is attached but the spec itself samples no series.
+const DefaultLiveInterval = 100_000
 
 // Paths within the sweep directory.
 func (r *Runner) statePath() string {
@@ -194,6 +215,28 @@ func (r *Runner) Run() (Summary, error) {
 		sched = pool.New(0)
 	}
 
+	// Lifecycle events: every emission happens on Run's goroutine, so the
+	// progress counters need no locking. The ETA is the mean fresh-cell
+	// wall time projected over the unsettled remainder — advisory only.
+	total := r.Spec.ShardSize(r.Shard, r.Shards)
+	var (
+		processed int   // cells settled (replayed, adopted, finished, poisoned)
+		freshDone int   // fresh cells finished OK
+		freshDur  int64 // summed wall time of those, ns
+	)
+	emit := func(ev obs.Event) {
+		if r.OnEvent == nil {
+			return
+		}
+		ev.Done = processed
+		ev.Total = total
+		if ev.EtaNS == 0 && freshDone > 0 && processed < total {
+			ev.EtaNS = freshDur / int64(freshDone) * int64(total-processed)
+		}
+		r.OnEvent(ev)
+	}
+	emit(obs.Event{Type: obs.EventShardStart, Key: r.Spec.Digest()})
+
 	// Per-key observability captures for fresh runs: the Obs hook fires
 	// once per executed simulation; memoized duplicates share the entry.
 	var (
@@ -206,9 +249,26 @@ func (r *Runner) Run() (Summary, error) {
 		}
 		oc := &obsCapture{reg: obs.NewRegistry()}
 		m.Observe(oc.reg, nil)
+		liveRun := fmt.Sprintf("%s seed=%d", c.Label(), c.Cfg.Seed)
 		if r.Spec.SeriesInterval > 0 {
 			oc.smp = obs.NewSampler(oc.reg, r.Spec.SeriesInterval, 0)
+			if r.Live != nil {
+				// A published view rides the record sampler without
+				// touching its exported values.
+				r.Live.Add(oc.smp.Publish(liveRun))
+			}
 			m.StartSampler(oc.smp)
+		} else if r.Live != nil {
+			// No recorded series: attach a live-only sampler. It is never
+			// exported, so the cell's cache record — and with it every
+			// artifact digest — is exactly what an unobserved run writes.
+			iv := r.LiveInterval
+			if iv <= 0 {
+				iv = DefaultLiveInterval
+			}
+			live := obs.NewSampler(oc.reg, iv, 0)
+			r.Live.Add(live.Publish(liveRun))
+			m.StartSampler(live)
 		}
 		obsMu.Lock()
 		obsByKy[c.Key()] = oc
@@ -226,6 +286,7 @@ func (r *Runner) Run() (Summary, error) {
 		cell  core.Cell
 		probe *sim.Progress
 		start time.Time
+		idx   int
 	}
 	var inflight []pending
 	freshBudget := r.MaxFresh
@@ -236,12 +297,14 @@ func (r *Runner) Run() (Summary, error) {
 	// remaining cells keep going.
 	poison := func(p pending, reason string) error {
 		sum.Poisoned++
+		processed++
 		obsMu.Lock()
 		delete(obsByKy, p.cell.Key())
 		obsMu.Unlock()
 		if r.OnPoison != nil {
 			r.OnPoison(p.cell, reason)
 		}
+		emit(obs.Event{Type: obs.EventCellPoisoned, Cell: p.cell.Label(), Idx: p.idx, Reason: reason})
 		return state.AppendPoison(p.cell.Key(), reason, time.Since(p.start).Nanoseconds())
 	}
 
@@ -298,7 +361,14 @@ func (r *Runner) Run() (Summary, error) {
 		if err := r.cache.Put(e); err != nil {
 			return err
 		}
-		return state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS})
+		if err := state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS}); err != nil {
+			return err
+		}
+		processed++
+		freshDone++
+		freshDur += e.DurationNS
+		emit(obs.Event{Type: obs.EventCellDone, Cell: p.cell.Label(), Idx: p.idx, DurationNS: e.DurationNS})
+		return nil
 	}
 
 	err = r.Spec.EachShardCell(r.Shard, r.Shards, func(idx int, c core.Cell) error {
@@ -312,6 +382,8 @@ func (r *Runner) Run() (Summary, error) {
 				// new "ok" record supersedes the poison line.
 				if !r.RetryPoison {
 					sum.Poisoned++
+					processed++
+					emit(obs.Event{Type: obs.EventCellPoisoned, Cell: c.Label(), Idx: idx, Reason: "quarantined"})
 					return nil
 				}
 				sum.PoisonRetried++
@@ -321,6 +393,8 @@ func (r *Runner) Run() (Summary, error) {
 				// matches the STATE digest; anything else re-runs the
 				// cell.
 				sum.FromState++
+				processed++
+				emit(obs.Event{Type: obs.EventCellState, Cell: c.Label(), Idx: idx})
 				return nil
 			}
 		} else if e, ok := r.cache.Get(key); ok {
@@ -328,7 +402,12 @@ func (r *Runner) Run() (Summary, error) {
 			// sweep, or a killed run's completed-but-unrecorded cell):
 			// adopt it into the STATE file.
 			sum.FromCache++
-			return state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS})
+			if err := state.Append(StateRec{Key: key, Digest: e.Digest, DurationNS: e.DurationNS}); err != nil {
+				return err
+			}
+			processed++
+			emit(obs.Event{Type: obs.EventCellCache, Cell: c.Label(), Idx: idx})
+			return nil
 		}
 		if freshBudget == 0 && r.MaxFresh > 0 {
 			capped = true
@@ -362,7 +441,8 @@ func (r *Runner) Run() (Summary, error) {
 		if r.MaxFresh > 0 {
 			freshBudget--
 		}
-		inflight = append(inflight, pending{fut: fut, cell: c, probe: probe, start: time.Now()})
+		emit(obs.Event{Type: obs.EventCellStart, Cell: c.Label(), Idx: idx})
+		inflight = append(inflight, pending{fut: fut, cell: c, probe: probe, start: time.Now(), idx: idx})
 		if len(inflight) >= window {
 			if err := finish(inflight[0]); err != nil {
 				return err
@@ -380,17 +460,20 @@ func (r *Runner) Run() (Summary, error) {
 		}
 	}
 	if capped {
+		emit(obs.Event{Type: obs.EventShardDone, Key: r.Spec.Digest(), Reason: "incomplete"})
 		return sum, ErrIncomplete
 	}
 	sum.Done = true
 	if sum.Poisoned > 0 {
 		// Every owned cell has a STATE record, but quarantined cells
 		// have no results: the shard cannot emit outputs yet.
+		emit(obs.Event{Type: obs.EventShardDone, Key: r.Spec.Digest(), Reason: "poisoned"})
 		return sum, ErrPoisoned
 	}
 	if err := r.emitShardOutputs(fsys, retry); err != nil {
 		return sum, err
 	}
+	emit(obs.Event{Type: obs.EventShardDone, Key: r.Spec.Digest(), Reason: "complete"})
 	return sum, nil
 }
 

@@ -85,12 +85,13 @@ for gm in 1 2 4 8; do
 done
 
 go_ver="$(go version | sed 's/^go version //')"
+hostarch="$(go env GOHOSTARCH)"
 cpu="unknown"
 if [ -r /proc/cpuinfo ]; then
   cpu="$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo)"
 fi
 
-awk -v go_ver="$go_ver" -v cpu="$cpu" -v samples="$samples" \
+awk -v go_ver="$go_ver" -v hostarch="$hostarch" -v cpu="$cpu" -v samples="$samples" \
     -v micro_bt="$micro_bt" -v run_bt="$run_bt" '
   /^Benchmark/ {
     bench = $1
@@ -110,8 +111,8 @@ awk -v go_ver="$go_ver" -v cpu="$cpu" -v samples="$samples" \
   }
   END {
     printf "{\n"
-    printf "  \"env\": {\"go\":\"%s\",\"cpu\":\"%s\",\"micro_gomaxprocs\":1,\"micro_samples\":%s,\"micro_benchtime\":\"%s\",\"run_benchtime\":\"%s\",\"estimator\":\"min\"},\n",
-           go_ver, cpu, samples, micro_bt, run_bt
+    printf "  \"env\": {\"go\":\"%s\",\"hostarch\":\"%s\",\"cpu\":\"%s\",\"micro_gomaxprocs\":1,\"micro_samples\":%s,\"micro_benchtime\":\"%s\",\"run_benchtime\":\"%s\",\"estimator\":\"min\"},\n",
+           go_ver, hostarch, cpu, samples, micro_bt, run_bt
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++)
       printf "  %s%s\n", rec[order[i]], (i < n ? "," : "")

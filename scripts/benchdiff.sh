@@ -29,6 +29,15 @@
 #   - ns/op regressed more than BENCHDIFF_GATE_THRESHOLD percent
 #     (default 10) past the best baseline, or
 #   - the benchmark allocates again (allocs/op > 0).
+# ns/op comparisons across different hosts are meaningless, so each
+# snapshot's env header carries a host fingerprint (hostarch + CPU
+# model, emitted by bench.sh). When the baseline a regression is
+# measured against was recorded on a definitely-different host, the
+# ns/op failure downgrades to a "::warning::" annotation instead of
+# failing the gate; a missing fingerprint component (older snapshots
+# predate hostarch) is treated as matching, so legacy baselines keep
+# gating at full strength. The allocs/op check is host-independent and
+# always stays a hard error.
 # Comparing against the best-ever baseline (not just the latest) is the
 # point: it is how the PR-4/5 micro-benchmark drift slipped through —
 # each snapshot was compared only to its noisy predecessor. End-to-end
@@ -72,6 +81,21 @@ extract() {
   ' "$1"
 }
 
+# Host fingerprint of a snapshot: "hostarch|cpu model" from the env
+# header line. Either component may be empty (old snapshots predate
+# hostarch; cpu can be "unknown" off /proc-less hosts).
+fp() {
+  awk '
+    /"env"/ {
+      arch = ""; cpu = ""
+      if (match($0, /"hostarch":"[^"]*"/)) arch = substr($0, RSTART + 12, RLENGTH - 13)
+      if (match($0, /"cpu":"[^"]*"/))      cpu  = substr($0, RSTART + 7, RLENGTH - 8)
+      print arch "|" cpu
+      exit
+    }
+  ' "$1"
+}
+
 if [ "$gate" = 1 ]; then
   if [ $# -ne 1 ]; then
     echo "usage: $0 --gate NEW.json" >&2
@@ -82,12 +106,15 @@ if [ "$gate" = 1 ]; then
   thr="${BENCHDIFF_GATE_THRESHOLD:-10}"
   base="${TMPDIR:-/tmp}/benchdiff_base.$$"
   newx="${TMPDIR:-/tmp}/benchdiff_new.$$"
-  trap 'rm -f "$base" "$newx"' EXIT
+  fpfile="${TMPDIR:-/tmp}/benchdiff_fp.$$"
+  trap 'rm -f "$base" "$newx" "$fpfile"' EXIT
   : > "$base"
+  : > "$fpfile"
   found=0
   for f in $(ls "$repo"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
     [ "$f" -ef "$new" ] 2>/dev/null && continue
     extract "$f" >> "$base"
+    printf '%s\t%s\n' "${f##*/}" "$(fp "$f")" >> "$fpfile"
     found=1
   done
   if [ "$found" = 0 ]; then
@@ -95,7 +122,8 @@ if [ "$gate" = 1 ]; then
     exit 2
   fi
   extract "$new" > "$newx"
-  awk -v basefile="$base" -v thr="$thr" '
+  newfp="$(fp "$new")"
+  awk -v basefile="$base" -v fpfile="$fpfile" -v newfp="$newfp" -v thr="$thr" '
     BEGIN {
       # Best (minimum) ns/op per benchmark, restricted to records where
       # the benchmark ran allocation-free: once a bench has hit zero
@@ -111,7 +139,22 @@ if [ "$gate" = 1 ]; then
         }
       }
       close(basefile)
+      while ((getline line < fpfile) > 0) {
+        split(line, f, "\t")
+        srcfp[f[1]] = f[2]
+      }
+      close(fpfile)
       fail = 0
+    }
+    # Fingerprints match unless a component is present on both sides
+    # AND differs: empty components (pre-hostarch snapshots, unreadable
+    # /proc/cpuinfo) are unknowns, and an unknown host must keep the
+    # gate hard rather than excuse every legacy baseline.
+    function fpmatch(a, b,   x, y) {
+      split(a, x, "|"); split(b, y, "|")
+      if (x[1] != "" && y[1] != "" && x[1] != y[1]) return 0
+      if (x[2] != "" && y[2] != "" && x[2] != y[2] && x[2] != "unknown" && y[2] != "unknown") return 0
+      return 1
     }
     {
       name = $1; nns = $2 + 0; nal = $3
@@ -123,9 +166,14 @@ if [ "$gate" = 1 ]; then
       }
       pct = 100 * (nns - best[name]) / best[name]
       if (pct > thr) {
-        printf "::error title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g in %s -> %.4g, gate %s%%)\n",
-          name, pct, best[name], bestsrc[name], nns, thr
-        fail = 1
+        if (fpmatch(srcfp[bestsrc[name]], newfp)) {
+          printf "::error title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g in %s -> %.4g, gate %s%%)\n",
+            name, pct, best[name], bestsrc[name], nns, thr
+          fail = 1
+        } else {
+          printf "::warning title=bench gate::%s ns/op regressed %+.1f%% vs best baseline (%.4g in %s -> %.4g, gate %s%%) — host fingerprint differs (%s vs %s), not gating\n",
+            name, pct, best[name], bestsrc[name], nns, thr, srcfp[bestsrc[name]], newfp
+        }
       } else {
         printf "gate ok: %-34s %10.4g ns/op vs best %10.4g [%s] (%+.1f%%, gate %s%%)\n",
           name, nns, best[name], bestsrc[name], pct, thr

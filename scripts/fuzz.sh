@@ -17,3 +17,4 @@ FUZZTIME="${FUZZTIME:-20s}"
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime "$FUZZTIME" ./internal/sweep/
 go test -run '^$' -fuzz '^FuzzParsePlan$' -fuzztime "$FUZZTIME" ./internal/fault/
 go test -run '^$' -fuzz '^FuzzReadJSON$' -fuzztime "$FUZZTIME" ./internal/trace/
+go test -run '^$' -fuzz '^FuzzReadEvents$' -fuzztime "$FUZZTIME" ./internal/obs/

@@ -1,0 +1,145 @@
+#!/bin/sh
+# Service-mode smoke (CI job: service-smoke).
+#
+# Proves the headline property of cmd/nwserve end to end, with a real
+# process and real HTTP: a grid submitted to the job API produces
+# byte-identical merged artifacts to the same spec run offline through
+# nwsweep -grid. Along the way it exercises the whole service surface:
+#
+#  1. Submit the grid over POST /jobs and follow the NDJSON lifecycle
+#     stream (/jobs/{id}/events) to completion, scraping /metrics while
+#     the job runs.
+#  2. cmp every served merged artifact (NDJSON, manifest, series, merge
+#     stdout) against the offline nwsweep run of the same spec file.
+#  3. SIGTERM the server and require a graceful drain: exit code 0.
+#
+# Set SERVICE_REPORT to a path to keep the rendered index.html (CI
+# uploads it as a build artifact).
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+srv_pid=""
+trap '[ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/nwsweep" ./cmd/nwsweep
+go build -o "$tmp/nwserve" ./cmd/nwserve
+
+spec="$tmp/grid.txt"
+cat > "$spec" <<'EOF'
+name service-gate
+apps em3d,gauss
+kinds nwcache
+modes naive
+seeds 1..2
+scale 0.05
+series 200000
+EOF
+# 2 apps x 1 kind x 1 mode x 2 seeds = 4 cells, with sampled series so
+# the merged.series.ndjson artifact is part of the comparison.
+
+# Offline reference: the same grid through nwsweep, merged in place.
+ref="$tmp/ref"
+"$tmp/nwsweep" -grid "$spec" -dir "$ref" -q
+"$tmp/nwsweep" -grid "$spec" -dir "$ref" -merge > "$tmp/ref-merge.txt"
+
+# Start the service on an ephemeral port.
+"$tmp/nwserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -data "$tmp/data" &
+srv_pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+  kill -0 "$srv_pid" 2>/dev/null || { echo "service: nwserve exited before binding" >&2; exit 1; }
+  i=$((i + 1))
+  [ "$i" -ge 100 ] && { echo "service: nwserve never wrote its address file" >&2; exit 1; }
+  sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+curl -fsS "$base/healthz" >&2
+echo >&2
+
+# Submit the spec file over HTTP, JSON-escaped verbatim so the service
+# job and the offline reference cannot drift apart.
+{
+  printf '{"grid":"'
+  awk '{ gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); printf "%s\\n", $0 }' "$spec"
+  printf '"}'
+} > "$tmp/job.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmp/job.json" "$base/jobs" > "$tmp/submit.json"
+id="$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmp/submit.json" | head -n 1)"
+if [ -z "$id" ]; then
+  echo "service: submit returned no job id:" >&2
+  cat "$tmp/submit.json" >&2
+  exit 1
+fi
+echo "service: submitted job $id" >&2
+
+# Follow the lifecycle stream; the server ends it at the terminal event.
+curl -fsS -N "$base/jobs/$id/events" > "$tmp/events.ndjson" &
+events_pid=$!
+
+# Poll the job to a terminal state, scraping the fleet metrics plane on
+# every pass (the scrape must stay well-formed while cells run).
+state=""
+i=0
+while :; do
+  state="$(curl -fsS "$base/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -n 1)"
+  curl -fsS "$base/metrics" > "$tmp/metrics.txt"
+  grep -q '^nwcache_serve_jobs{' "$tmp/metrics.txt" || {
+    echo "service: /metrics scrape lost the scheduler gauges" >&2
+    exit 1
+  }
+  case "$state" in
+  done) break ;;
+  queued | running) ;;
+  *)
+    echo "service: job $id ended $state" >&2
+    curl -fsS "$base/jobs/$id" >&2 || true
+    exit 1
+    ;;
+  esac
+  i=$((i + 1))
+  [ "$i" -ge 180 ] && { echo "service: job $id never completed" >&2; exit 1; }
+  sleep 1
+done
+wait "$events_pid" || { echo "service: event stream failed" >&2; exit 1; }
+
+# The stream must carry the full lifecycle.
+for ev in job.queued job.start shard.start cell.start cell.done shard.done job.done; do
+  grep -q "\"type\":\"$ev\"" "$tmp/events.ndjson" || {
+    echo "service: event stream is missing $ev" >&2
+    cat "$tmp/events.ndjson" >&2
+    exit 1
+  }
+done
+
+# Headline gate: served artifacts vs the offline nwsweep run.
+echo "service: comparing served artifacts against the offline run" >&2
+for name in merged.ndjson merged.manifest.json merged.series.ndjson; do
+  curl -fsS "$base/jobs/$id/artifacts/$name" > "$tmp/got.$name"
+  cmp "$ref/$name" "$tmp/got.$name"
+done
+curl -fsS "$base/jobs/$id/artifacts/merge.txt" > "$tmp/got-merge.txt"
+cmp "$tmp/ref-merge.txt" "$tmp/got-merge.txt"
+
+# The rendered report must be served and look like one.
+curl -fsS "$base/jobs/$id/artifacts/index.html" > "$tmp/index.html"
+grep -q '<table' "$tmp/index.html" || {
+  echo "service: index.html carries no manifest table" >&2
+  exit 1
+}
+if [ -n "${SERVICE_REPORT:-}" ]; then
+  cp "$tmp/index.html" "$SERVICE_REPORT"
+fi
+
+# Graceful drain: SIGTERM must end the process with exit code 0.
+kill -TERM "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+srv_pid=""
+if [ "$rc" -ne 0 ]; then
+  echo "service: SIGTERM drain exited $rc, want 0" >&2
+  exit 1
+fi
+
+echo "service: OK (HTTP job byte-identical to offline nwsweep, drain clean)" >&2
